@@ -1,0 +1,87 @@
+// Ablation — distribution of copy sets.
+//
+// Li & Hudak's refinement of the dynamic distributed manager: any node
+// holding a valid copy may serve a read fault (the copies form a tree
+// rooted at the owner; invalidation recurses through it).  The owner
+// stops being a serialization point for read-mostly pages, at the price
+// of a multi-hop invalidation when a write finally happens.
+//
+// Workload: a read-mostly broadcast pattern — one writer updates a
+// page, then every other node reads it, repeatedly.
+#include "bench/common.h"
+
+namespace ivy::bench {
+namespace {
+
+struct Result {
+  Time elapsed;
+  std::uint64_t owner_load;
+  std::uint64_t invalidations;
+};
+
+Result run_fanout(bool distributed) {
+  Config cfg = base_config(8);
+  cfg.distributed_copysets = distributed;
+  auto rt = std::make_unique<Runtime>(cfg);
+  auto value = rt->alloc_scalar<std::uint64_t>();
+  auto bar = rt->create_barrier(8);
+  const PageId value_page = rt->config().geometry().page_of(value.address());
+  constexpr int kRounds = 30;
+  // Hints as ownership history leaves them after the page wandered the
+  // ring once: node k last saw node k-1 as the owner.  With owner-only
+  // copysets every read is forwarded down the chain to node 0; with
+  // distributed copysets a holder along the chain answers directly.
+  for (NodeId n = 2; n < 8; ++n) {
+    rt->svm(n).table().at(value_page).prob_owner = n - 1;
+  }
+  for (NodeId n = 0; n < 8; ++n) {
+    rt->spawn_on(n, [=]() mutable {
+      for (int r = 0; r < kRounds; ++r) {
+        if (n == 0) value.set(static_cast<std::uint64_t>(r));
+        bar.arrive(2 * r);
+        // Stagger the fan-out so upstream copies exist when downstream
+        // nodes fault.
+        charge(20 * static_cast<std::int64_t>(n) + 1);
+        const auto got = value.get();
+        IVY_CHECK_EQ(got, static_cast<std::uint64_t>(r));
+        bar.arrive(2 * r + 1);
+      }
+    });
+  }
+  const Time t = rt->run();
+  // The writer's serving load: page copies shipped from node 0.
+  return Result{t, rt->stats().node_total(0, Counter::kPageTransfers),
+                rt->stats().total(Counter::kInvalidationsSent)};
+}
+
+void run() {
+  header("Ablation: distribution of copy sets",
+         "reads served only by the owner vs by any copy holder");
+  std::printf("  8 nodes, 30 rounds of write-then-fan-out-read\n\n");
+  std::printf("  %-14s %10s %14s %14s\n", "copysets", "time[s]",
+              "owner_copies", "invalidations");
+  for (bool distributed : {false, true}) {
+    const Result r = run_fanout(distributed);
+    std::printf("  %-14s %10.3f %14llu %14llu\n",
+                distributed ? "distributed" : "owner-only",
+                to_seconds(r.elapsed),
+                static_cast<unsigned long long>(r.owner_load),
+                static_cast<unsigned long long>(r.invalidations));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nFinding: the refinement only bites on the first fan-out after\n"
+      "hints decay — every invalidation re-anchors all hints at the new\n"
+      "owner, so steady-state traffic converges with the base algorithm.\n"
+      "(The tree-serving mechanism itself is exercised and verified in\n"
+      "tests/protocol_robustness_test.cc.)  This is evidence for why the\n"
+      "ICPP prototype shipped without the refinement.\n");
+}
+
+}  // namespace
+}  // namespace ivy::bench
+
+int main() {
+  ivy::bench::run();
+  return 0;
+}

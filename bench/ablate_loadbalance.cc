@@ -1,0 +1,85 @@
+// Ablation — passive load balancing thresholds.
+//
+// "Experiments ... show that the algorithm will not work well if the
+// number of ready processes on each processor is used as the only
+// criterion ... A better way is to use the number of processes (including
+// both ready and suspended) controlled by thresholds.  When such a number
+// is less than the lower threshold, the processor will try to ask for
+// work.  When such a number is greater than the upper threshold, the
+// processor will migrate processes to other processors upon requests."
+//
+// Workload: 32 compute-bound processes all spawned on node 0 with system
+// scheduling; the balancer must spread them across 8 nodes.
+#include "bench/common.h"
+
+namespace ivy::bench {
+namespace {
+
+struct LbResult {
+  Time elapsed;
+  std::uint64_t migrations;
+  std::uint64_t rejects;
+};
+
+LbResult run_storm(bool balancing, int lower, int upper) {
+  Config cfg = base_config(8);
+  cfg.stack_region_pages = 256;
+  cfg.sched.load_balancing = balancing;
+  cfg.sched.lower_threshold = lower;
+  cfg.sched.upper_threshold = upper;
+  cfg.sched.lb_interval = ms(20);
+  auto rt = std::make_unique<Runtime>(cfg);
+
+  constexpr int kProcs = 32;
+  auto done = rt->alloc_array<std::uint32_t>(kProcs);
+  for (int i = 0; i < kProcs; ++i) {
+    rt->spawn_on(0, [i, done]() mutable {
+      // A second of virtual computation, preemptible so the process is
+      // migratable while ready.
+      for (int step = 0; step < 1000; ++step) charge(25);
+      done[static_cast<std::size_t>(i)] = 1;
+    });
+  }
+  const Time elapsed = rt->run();
+  for (int i = 0; i < kProcs; ++i) {
+    IVY_CHECK_EQ(rt->host_read(done, static_cast<std::size_t>(i)), 1u);
+  }
+  return LbResult{elapsed, rt->stats().total(Counter::kMigrations),
+                  rt->stats().total(Counter::kMigrationRejects)};
+}
+
+void run() {
+  header("Ablation: passive load balancing",
+         "threshold pairs; 32 processes spawned on one of 8 nodes");
+  std::printf("  %-22s %10s %11s %9s\n", "policy (lower/upper)", "time[s]",
+              "migrations", "rejects");
+
+  const LbResult off = run_storm(false, 1, 2);
+  std::printf("  %-22s %10.3f %11llu %9llu\n", "off", to_seconds(off.elapsed),
+              static_cast<unsigned long long>(off.migrations),
+              static_cast<unsigned long long>(off.rejects));
+  struct Pair {
+    int lower, upper;
+  };
+  for (Pair p : {Pair{1, 1}, Pair{1, 2}, Pair{2, 4}, Pair{2, 8}, Pair{4, 16}}) {
+    const LbResult r = run_storm(true, p.lower, p.upper);
+    std::printf("  on  %2d/%-16d %10.3f %11llu %9llu\n", p.lower, p.upper,
+                to_seconds(r.elapsed),
+                static_cast<unsigned long long>(r.migrations),
+                static_cast<unsigned long long>(r.rejects));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape: without balancing everything runs serially on\n"
+      "node 0; with it the work spreads (~time/8 plus migration cost).\n"
+      "A high upper threshold strands work on the loaded node; a very low\n"
+      "one causes churn and rejected requests.\n");
+}
+
+}  // namespace
+}  // namespace ivy::bench
+
+int main() {
+  ivy::bench::run();
+  return 0;
+}

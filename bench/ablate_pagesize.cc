@@ -1,0 +1,74 @@
+// Ablation — page size.
+//
+// "Since sending large packets ... is not much more expensive than
+// sending small ones, relatively large page sizes are possible ... On
+// the other hand, the larger the memory unit, the greater the chance for
+// contention. ... Our experience with a page size of 1K bytes has been
+// pleasant and we expect that smaller page sizes (perhaps as low as 256
+// bytes) will work well also, but we are not as confident about larger
+// page sizes, due to the contention problem."
+#include "bench/common.h"
+#include "ivy/apps/dotprod.h"
+#include "ivy/apps/jacobi.h"
+
+namespace ivy::bench {
+namespace {
+
+void run_workload(const char* name,
+                  const std::function<apps::RunOutcome(Runtime&)>& body) {
+  std::printf("  workload: %s\n", name);
+  std::printf("  %10s %10s %12s %12s %6s\n", "page[B]", "time[s]",
+              "transfers", "ring_MB", "ok");
+  for (std::size_t page_size : {256u, 512u, 1024u, 2048u, 4096u}) {
+    Config cfg = base_config(8);
+    cfg.page_size = page_size;
+    // Keep the heap a constant 16 MiB regardless of page size.
+    cfg.heap_pages = static_cast<PageId>((16u << 20) / page_size);
+    auto rt = std::make_unique<Runtime>(cfg);
+    const apps::RunOutcome out = body(*rt);
+    std::printf("  %10zu %10.3f %12llu %12.2f %6s\n", page_size,
+                to_seconds(out.elapsed),
+                static_cast<unsigned long long>(
+                    rt->stats().total(Counter::kPageTransfers)),
+                static_cast<double>(
+                    rt->stats().total(Counter::kBytesOnRing)) /
+                    1e6,
+                out.verified ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+void run() {
+  header("Ablation: page size",
+         "transfer efficiency vs contention, 8 nodes");
+
+  run_workload(
+      "jacobi n=256 (page-grain contention on the shared x vector)",
+      [](Runtime& rt) {
+        apps::JacobiParams p;
+        p.n = 256;
+        p.iterations = 6;
+        return run_jacobi(rt, p);
+      });
+
+  run_workload("dotprod n=32768 scattered (streams whole vectors)",
+               [](Runtime& rt) {
+                 apps::DotprodParams p;
+                 p.n = 32768;
+                 return run_dotprod(rt, p);
+               });
+
+  std::printf(
+      "Expected shape: the movement-dominated workload favours larger\n"
+      "pages (fewer, fatter transfers); the iterative workload pays for\n"
+      "them through false sharing on the jointly written vector.\n");
+}
+
+}  // namespace
+}  // namespace ivy::bench
+
+int main() {
+  ivy::bench::run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation — the conclusion's system-mode projection.
+//
+// "IVY is a user-mode implementation, so it has a lot of overhead.  A
+// system-mode implementation ought to provide a substantial improvement.
+// It is expected that a well-tuned system-mode implementation should
+// improve the performance of remote operations and page moving by a
+// factor of at least two."
+//
+// We test the projection by halving (and quartering) exactly the
+// software components of the cost model — fault handler, server handling,
+// per-message software latency, page mapping — while leaving the physics
+// (ring bandwidth, disk, CPU) alone, and measuring what that does to the
+// 8-node speedup of the communication-sensitive programs.
+#include "bench/common.h"
+#include "ivy/apps/dotprod.h"
+#include "ivy/apps/jacobi.h"
+#include "ivy/apps/msort.h"
+
+namespace ivy::bench {
+namespace {
+
+Config tuned_config(NodeId nodes, int divisor) {
+  Config cfg = base_config(nodes);
+  cfg.costs.fault_handler /= divisor;
+  cfg.costs.fault_server /= divisor;
+  cfg.costs.msg_latency /= divisor;
+  cfg.costs.map_page /= divisor;
+  return cfg;
+}
+
+template <typename Fn>
+void sweep(const char* name, Fn run) {
+  std::printf("  workload: %s\n", name);
+  std::printf("  %-22s %12s %12s %9s\n", "implementation", "T(1)[s]",
+              "T(8)[s]", "speedup");
+  for (int divisor : {1, 2, 4}) {
+    Time t1 = 0, t8 = 0;
+    for (NodeId nodes : {1u, 8u}) {
+      auto rt = std::make_unique<Runtime>(tuned_config(nodes, divisor));
+      for (NodeId n = 0; n < nodes; ++n) {
+        // Retransmission cadence is software too.
+        rt->rpc(n).set_request_timeout(sec(2) / divisor);
+        rt->rpc(n).set_check_interval(ms(500) / divisor);
+      }
+      const apps::RunOutcome out = run(*rt);
+      IVY_CHECK(out.verified);
+      (nodes == 1 ? t1 : t8) = out.elapsed;
+    }
+    const char* label = divisor == 1   ? "user-mode (paper)"
+                        : divisor == 2 ? "system-mode (2x sw)"
+                                       : "well-tuned (4x sw)";
+    std::printf("  %-22s %12.3f %12.3f %9.2f\n", label, to_seconds(t1),
+                to_seconds(t8),
+                static_cast<double>(t1) / static_cast<double>(t8));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+void run() {
+  header("Ablation: user-mode vs system-mode software overheads",
+         "the conclusion's 'factor of at least two' projection");
+
+  sweep("jacobi n=256 x6 iterations", [](Runtime& rt) {
+    apps::JacobiParams p;
+    p.n = 256;
+    p.iterations = 6;
+    return run_jacobi(rt, p);
+  });
+  sweep("dotprod n=32768 scattered (communication-bound)", [](Runtime& rt) {
+    apps::DotprodParams p;
+    p.n = 32768;
+    return run_dotprod(rt, p);
+  });
+  sweep("merge-split sort 16k records", [](Runtime& rt) {
+    apps::MsortParams p;
+    p.records = 1 << 14;
+    return run_msort(rt, p);
+  });
+
+  std::printf(
+      "Expected shape: compute-bound programs barely move; the\n"
+      "communication-bound ones (dotprod, sort) gain the most — cheaper\n"
+      "software pushes their curves toward the hardware's limits, which\n"
+      "is what the paper predicted a system-mode port would buy.\n");
+}
+
+}  // namespace
+}  // namespace ivy::bench
+
+int main() {
+  ivy::bench::run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the per-figure/table reproduction harnesses.
+//
+// Every binary prints a self-contained report: the paper artifact it
+// regenerates, the configuration, and the measured series.  Times are
+// *virtual* (simulated 1988 hardware); speedups are ratios of virtual
+// times exactly as the paper computes them.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivy/apps/workload.h"
+#include "ivy/ivy.h"
+
+namespace ivy::bench {
+
+inline Config base_config(NodeId nodes) {
+  Config cfg;
+  cfg.nodes = nodes;
+  cfg.heap_pages = 24576;  // 24 MiB shared heap
+  cfg.stack_region_pages = 64;
+  return cfg;
+}
+
+struct SweepPoint {
+  NodeId nodes;
+  Time elapsed;
+  bool verified;
+};
+
+/// Runs `body(rt)` for each node count and prints a speedup table.
+inline std::vector<SweepPoint> speedup_sweep(
+    const char* program, const std::vector<NodeId>& node_counts,
+    const std::function<Config(NodeId)>& make_config,
+    const std::function<apps::RunOutcome(Runtime&)>& body) {
+  std::vector<SweepPoint> points;
+  double t1 = 0.0;
+  std::printf("  %-10s %5s %12s %9s %6s\n", program, "nodes", "time[s]",
+              "speedup", "ok");
+  for (NodeId n : node_counts) {
+    auto rt = std::make_unique<Runtime>(make_config(n));
+    const apps::RunOutcome out = body(*rt);
+    if (n == node_counts.front()) t1 = static_cast<double>(out.elapsed);
+    const double speedup = t1 / static_cast<double>(out.elapsed);
+    std::printf("  %-10s %5u %12.3f %9.2f %6s\n", program, n,
+                to_seconds(out.elapsed), speedup, out.verified ? "yes" : "NO");
+    std::fflush(stdout);
+    points.push_back(SweepPoint{n, out.elapsed, out.verified});
+  }
+  return points;
+}
+
+inline void header(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace ivy::bench

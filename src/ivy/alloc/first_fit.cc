@@ -1,0 +1,93 @@
+#include "ivy/alloc/first_fit.h"
+
+#include <algorithm>
+
+#include "ivy/base/check.h"
+
+namespace ivy::alloc {
+
+FirstFit::FirstFit(SvmAddr base, SvmAddr size_bytes, std::size_t page_size)
+    : base_(base), size_(size_bytes), page_size_(page_size),
+      bytes_free_(size_bytes) {
+  IVY_CHECK_GT(page_size, 0u);
+  IVY_CHECK_EQ(base % page_size, 0u);
+  IVY_CHECK_EQ(size_bytes % page_size, 0u);
+  if (size_bytes > 0) free_list_.push_back(Chunk{base, size_bytes});
+}
+
+SvmAddr FirstFit::allocate(std::size_t bytes) {
+  IVY_CHECK_GT(bytes, 0u);
+  // Page-boundary allocation, as in the paper.
+  const SvmAddr need =
+      (static_cast<SvmAddr>(bytes) + page_size_ - 1) / page_size_ * page_size_;
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->size < need) continue;
+    const SvmAddr addr = it->addr;
+    if (it->size == need) {
+      free_list_.erase(it);
+    } else {
+      it->addr += need;
+      it->size -= need;
+    }
+    allocated_.emplace(addr, need);
+    bytes_free_ -= need;
+    return addr;
+  }
+  return kNullSvmAddr;
+}
+
+void FirstFit::free(SvmAddr addr) {
+  auto it = allocated_.find(addr);
+  IVY_CHECK_MSG(it != allocated_.end(), "free of unallocated addr " << addr);
+  const SvmAddr size = it->second;
+  allocated_.erase(it);
+  bytes_free_ += size;
+
+  // Insert sorted and coalesce with neighbours.
+  auto pos = std::lower_bound(
+      free_list_.begin(), free_list_.end(), addr,
+      [](const Chunk& c, SvmAddr a) { return c.addr < a; });
+  pos = free_list_.insert(pos, Chunk{addr, size});
+  // Merge with successor.
+  if (auto next = std::next(pos);
+      next != free_list_.end() && pos->addr + pos->size == next->addr) {
+    pos->size += next->size;
+    free_list_.erase(next);
+  }
+  // Merge with predecessor.
+  if (pos != free_list_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->addr + prev->size == pos->addr) {
+      prev->size += pos->size;
+      free_list_.erase(pos);
+    }
+  }
+}
+
+void FirstFit::check_integrity() const {
+  SvmAddr free_sum = 0;
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    const Chunk& c = free_list_[i];
+    IVY_CHECK_GE(c.addr, base_);
+    IVY_CHECK_LE(c.addr + c.size, base_ + size_);
+    IVY_CHECK_EQ(c.addr % page_size_, 0u);
+    IVY_CHECK_EQ(c.size % page_size_, 0u);
+    free_sum += c.size;
+    if (i > 0) {
+      // Sorted, disjoint, and fully coalesced.
+      IVY_CHECK_LT(free_list_[i - 1].addr + free_list_[i - 1].size, c.addr);
+    }
+  }
+  IVY_CHECK_EQ(free_sum, bytes_free_);
+  SvmAddr alloc_sum = 0;
+  for (const auto& [addr, size] : allocated_) {
+    alloc_sum += size;
+    for (const Chunk& c : free_list_) {
+      const bool disjoint = addr + size <= c.addr || c.addr + c.size <= addr;
+      IVY_CHECK_MSG(disjoint, "allocation overlaps free chunk");
+    }
+  }
+  IVY_CHECK_EQ(alloc_sum + free_sum, size_);
+}
+
+}  // namespace ivy::alloc

@@ -1,0 +1,62 @@
+// First-fit free-list over a range of SVM addresses.
+//
+// "IVY has a simple memory allocation module that uses a 'first fit'
+// algorithm with one-level centralized control. ... To reduce the memory
+// contention, the memory allocators allocate each piece of memory to the
+// boundary of a page."
+//
+// This is the pure data structure; the centralized/two-level allocators
+// wrap it with their distribution policy.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "ivy/base/types.h"
+
+namespace ivy::alloc {
+
+class FirstFit {
+ public:
+  /// Manages [base, base + size_bytes); both page-aligned.
+  FirstFit(SvmAddr base, SvmAddr size_bytes, std::size_t page_size);
+
+  /// Allocates `bytes` rounded up to whole pages; returns kNullSvmAddr on
+  /// exhaustion.
+  [[nodiscard]] SvmAddr allocate(std::size_t bytes);
+
+  /// Returns a block; `addr` must be a live allocation's base.
+  void free(SvmAddr addr);
+
+  [[nodiscard]] SvmAddr bytes_free() const { return bytes_free_; }
+  [[nodiscard]] SvmAddr bytes_total() const { return size_; }
+  [[nodiscard]] std::size_t live_allocations() const {
+    return allocated_.size();
+  }
+  [[nodiscard]] std::size_t free_chunks() const { return free_list_.size(); }
+
+  /// True when `addr` lies inside the managed range.
+  [[nodiscard]] bool contains(SvmAddr addr) const {
+    return addr >= base_ && addr < base_ + size_;
+  }
+
+  /// Internal consistency check (tests): free list sorted, coalesced,
+  /// disjoint from live allocations, sizes add up.
+  void check_integrity() const;
+
+ private:
+  struct Chunk {
+    SvmAddr addr;
+    SvmAddr size;
+  };
+
+  SvmAddr base_;
+  SvmAddr size_;
+  std::size_t page_size_;
+  SvmAddr bytes_free_;
+  std::vector<Chunk> free_list_;           ///< sorted by address, coalesced
+  std::map<SvmAddr, SvmAddr> allocated_;   ///< base -> size
+};
+
+}  // namespace ivy::alloc

@@ -1,0 +1,43 @@
+// Shared-memory allocation interface and protocol payloads.
+//
+// "The processor with which the user directly contacts will be appointed
+// to the centralized memory manager."  Clients allocate through a
+// SharedHeap; the one-level implementation RPCs every request to the
+// central node, the two-level implementation caches big chunks locally
+// (the "more efficient approach" the paper proposes as future work).
+#pragma once
+
+#include <cstdint>
+
+#include "ivy/base/types.h"
+
+namespace ivy::alloc {
+
+class SharedHeap {
+ public:
+  virtual ~SharedHeap() = default;
+
+  /// Allocates `bytes` of shared memory (page-aligned, page-granular).
+  /// Must be called from inside a process; may block.
+  [[nodiscard]] virtual SvmAddr allocate(std::size_t bytes) = 0;
+
+  /// Frees an allocation made through the same heap family.
+  virtual void deallocate(SvmAddr addr) = 0;
+};
+
+struct AllocRequestPayload {
+  std::uint64_t bytes = 0;
+  static constexpr std::uint32_t kWireBytes = 16;
+};
+
+struct AllocReplyPayload {
+  SvmAddr addr = kNullSvmAddr;  ///< kNullSvmAddr = out of shared memory
+  static constexpr std::uint32_t kWireBytes = 16;
+};
+
+struct FreeRequestPayload {
+  SvmAddr addr = kNullSvmAddr;
+  static constexpr std::uint32_t kWireBytes = 16;
+};
+
+}  // namespace ivy::alloc

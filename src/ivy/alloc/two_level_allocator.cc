@@ -1,0 +1,70 @@
+#include "ivy/alloc/two_level_allocator.h"
+
+#include <algorithm>
+
+namespace ivy::alloc {
+
+TwoLevelAllocator::TwoLevelAllocator(proc::Scheduler& sched,
+                                     CentralAllocator& central,
+                                     std::size_t chunk_bytes,
+                                     sync::SvmLock lock)
+    : sched_(sched), central_(central), chunk_bytes_(chunk_bytes),
+      lock_(lock) {
+  IVY_CHECK_GT(chunk_bytes, 0u);
+  IVY_CHECK_EQ(chunk_bytes % sched.svm().geometry().page_size, 0u);
+}
+
+SvmAddr TwoLevelAllocator::try_local(std::size_t bytes) {
+  for (LocalChunk& chunk : chunks_) {
+    const SvmAddr addr = chunk.list->allocate(bytes);
+    if (addr != kNullSvmAddr) return addr;
+  }
+  return kNullSvmAddr;
+}
+
+SvmAddr TwoLevelAllocator::allocate(std::size_t bytes) {
+  sched_.stats().bump(sched_.node(), Counter::kAllocCalls);
+  // Requests bigger than half a chunk would fragment the cache; pass
+  // them straight to the central allocator.
+  if (bytes > chunk_bytes_ / 2) {
+    const SvmAddr addr = central_.allocate(bytes);
+    if (addr != kNullSvmAddr) oversize_.push_back(addr);
+    return addr;
+  }
+  sync::SvmLockGuard guard(lock_);
+  SvmAddr addr = try_local(bytes);
+  if (addr != kNullSvmAddr) return addr;
+  // Refill: one remote round-trip amortized over many local allocations.
+  const SvmAddr chunk_base = central_.allocate(chunk_bytes_);
+  if (chunk_base == kNullSvmAddr) {
+    // Central heap exhausted for a whole chunk; try the exact size.
+    return central_.allocate(bytes);
+  }
+  chunks_.push_back(LocalChunk{
+      chunk_base,
+      std::make_unique<FirstFit>(chunk_base, chunk_bytes_,
+                                 sched_.svm().geometry().page_size)});
+  addr = chunks_.back().list->allocate(bytes);
+  IVY_CHECK_NE(addr, kNullSvmAddr);
+  return addr;
+}
+
+void TwoLevelAllocator::deallocate(SvmAddr addr) {
+  sched_.stats().bump(sched_.node(), Counter::kFreeCalls);
+  if (auto it = std::find(oversize_.begin(), oversize_.end(), addr);
+      it != oversize_.end()) {
+    oversize_.erase(it);
+    central_.deallocate(addr);
+    return;
+  }
+  sync::SvmLockGuard guard(lock_);
+  for (LocalChunk& chunk : chunks_) {
+    if (chunk.list->contains(addr)) {
+      chunk.list->free(addr);
+      return;
+    }
+  }
+  IVY_UNREACHABLE("two-level free of memory not allocated on this node");
+}
+
+}  // namespace ivy::alloc

@@ -1,0 +1,24 @@
+// Dot-product — "computes S = sum x_i * y_i ... Both vector x and y are
+// stored in the shared virtual memory in a random manner, under the
+// assumption that x and y are not fully distributed before doing the
+// computation.  The main reason for choosing this example is to show the
+// weak side of the shared virtual memory system; dot-product does little
+// computation but requires a lot of data movement."
+#pragma once
+
+#include "ivy/apps/workload.h"
+
+namespace ivy::apps {
+
+struct DotprodParams {
+  std::size_t n = 32768;
+  int processes = 0;
+  std::uint64_t seed = 0xd07;
+  /// Scatter elements over the address space through a random permutation
+  /// (the paper's "random manner"); false stores them contiguously.
+  bool scatter = true;
+};
+
+RunOutcome run_dotprod(Runtime& rt, const DotprodParams& params);
+
+}  // namespace ivy::apps

@@ -1,0 +1,35 @@
+// Linear Equation Solver — "a parallel Jacobi algorithm for solving
+// linear equations Ax = b where A is an n x n matrix.  The parallel
+// algorithm creates a number of processes to partition the problem by the
+// number of rows of matrix A.  All the processes are synchronized at each
+// iteration by using an event count.  The data structures A, x, and b are
+// stored linearly in the shared virtual memory, and the processes access
+// them freely without regard to their location."
+#pragma once
+
+#include "ivy/apps/workload.h"
+
+namespace ivy::apps {
+
+struct JacobiParams {
+  std::size_t n = 128;
+  int iterations = 8;
+  /// Worker processes; 0 = one per processor (the paper's parameterized
+  /// partitioning).
+  int processes = 0;
+  std::uint64_t seed = 0x0a11ce;
+  /// Close a stats epoch at each iteration boundary.
+  bool mark_epochs = false;
+  /// The paper's two placement options: manual scheduling pins worker p
+  /// to processor p; system scheduling spawns every worker on the
+  /// contact processor and lets the passive load balancer spread them
+  /// (enable cfg.sched.load_balancing).
+  bool system_scheduling = false;
+};
+
+/// Runs the whole program (single-processor initialization + parallel
+/// iterations) on the given runtime and verifies the result against the
+/// sequential oracle.
+RunOutcome run_jacobi(Runtime& rt, const JacobiParams& params);
+
+}  // namespace ivy::apps

@@ -1,0 +1,26 @@
+// Matrix Multiply — "computes C = AB where A, B, and C are square
+// matrices.  A number of processes are created to partition the problem
+// by the number of columns of matrix B.  All the matrices are stored in
+// the shared virtual memory.  The program assumes that matrix A and B are
+// on one processor at the beginning and they will be paged to other
+// processors on demand."
+#pragma once
+
+#include "ivy/apps/workload.h"
+
+namespace ivy::apps {
+
+struct MatmulParams {
+  std::size_t n = 96;
+  int processes = 0;
+  std::uint64_t seed = 0x3a7;
+  /// The paper's two placement options: manual scheduling pins worker p
+  /// to processor p; system scheduling spawns every worker on the
+  /// contact processor and lets the passive load balancer spread them
+  /// (enable cfg.sched.load_balancing).
+  bool system_scheduling = false;
+};
+
+RunOutcome run_matmul(Runtime& rt, const MatmulParams& params);
+
+}  // namespace ivy::apps

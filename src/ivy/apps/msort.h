@@ -1,0 +1,31 @@
+// Split-merge Sort — "a variation of the block odd-even based merge-split
+// algorithm.  The sorted data is a vector of records that contain random
+// strings.  At the beginning, the program divides the vector into 2N
+// blocks for N processors, and creates N processes, one for each
+// processor.  Each process sorts two blocks by using a quicksort
+// algorithm ... Each process then does an odd-even block merge-split sort
+// 2N-1 times.  The vector is stored in the shared virtual memory."
+//
+// As the paper notes for Figure 6, the algorithm itself is sub-linear
+// even with free communication; run_msort also reports the
+// zero-communication algorithmic bound so the bench can plot both.
+#pragma once
+
+#include "ivy/apps/workload.h"
+
+namespace ivy::apps {
+
+struct MsortParams {
+  std::size_t records = 1 << 14;
+  int processes = 0;  ///< N; the vector is split into 2N blocks
+  std::uint64_t seed = 0x50fa;
+};
+
+RunOutcome run_msort(Runtime& rt, const MsortParams& params);
+
+/// Comparison count of the algorithm at N processes (quicksort of two
+/// blocks + 2N-1 merge-split rounds), used for the ideal-speedup curve of
+/// Figure 6.
+[[nodiscard]] double msort_ideal_speedup(std::size_t records, int processes);
+
+}  // namespace ivy::apps

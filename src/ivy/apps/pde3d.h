@@ -1,0 +1,36 @@
+// 3-D PDE Solver — "solves three dimensional partial differential
+// equations using a parallel Jacobi algorithm ... Since this matrix is
+// never updated in the program, the practical PDE solvers in scientific
+// computing usually eliminate the matrix by coding it into programs ...
+// The vectors x and b are stored linearly in the shared virtual memory."
+//
+// This is the program behind Figure 4 (super-linear speedup when the data
+// exceeds one node's physical memory) and Table 1 (disk page transfers of
+// the first iterations on 1 vs 2 processors).
+#pragma once
+
+#include "ivy/apps/workload.h"
+
+namespace ivy::apps {
+
+struct Pde3dParams {
+  std::size_t m = 16;  ///< grid edge; unknowns = m^3
+  int iterations = 6;
+  int processes = 0;   ///< 0 = one per processor
+  std::uint64_t seed = 0x9de;
+  /// Close a stats epoch at each iteration boundary (Table 1 reads the
+  /// per-epoch disk transfer counts).
+  bool mark_epochs = false;
+  /// Skip the element-wise oracle comparison (for the big Figure 4 grids
+  /// where the host-side oracle would dominate wall time).
+  bool skip_verify = false;
+  /// The paper's two placement options: manual scheduling pins worker p
+  /// to processor p; system scheduling spawns every worker on the
+  /// contact processor and lets the passive load balancer spread them
+  /// (enable cfg.sched.load_balancing).
+  bool system_scheduling = false;
+};
+
+RunOutcome run_pde3d(Runtime& rt, const Pde3dParams& params);
+
+}  // namespace ivy::apps

@@ -1,0 +1,226 @@
+#include "ivy/apps/tsp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ivy::apps {
+namespace {
+
+constexpr int kMaxCities = 16;
+constexpr std::size_t kPoolCapacity = 8192;
+
+/// A branch of the search tree: a partial tour starting at city 0.
+struct Branch {
+  double cost = 0.0;
+  std::uint32_t depth = 0;
+  std::uint8_t path[kMaxCities] = {};
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(Branch) == 32);
+static_assert(std::is_trivially_copyable_v<Branch>);
+
+/// Held-Karp-style lower bound: subtour cost + MST over the unvisited
+/// cities + the two cheapest edges tying the tree back to the subtour's
+/// endpoints (a 1-tree on the contracted subtour).
+double lower_bound(const std::vector<double>& w, int n, const Branch& br) {
+  bool visited[kMaxCities] = {};
+  for (std::uint32_t i = 0; i < br.depth; ++i) visited[br.path[i]] = true;
+  int rest[kMaxCities];
+  int nrest = 0;
+  for (int c = 0; c < n; ++c) {
+    if (!visited[c]) rest[nrest++] = c;
+  }
+  if (nrest == 0) return br.cost;
+  const auto wat = [&](int a, int b) {
+    return w[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(b)];
+  };
+
+  // Prim's MST over the unvisited set.
+  double mst = 0.0;
+  double dist[kMaxCities];
+  bool in_tree[kMaxCities] = {};
+  for (int i = 0; i < nrest; ++i) dist[i] = wat(rest[0], rest[i]);
+  in_tree[0] = true;
+  for (int added = 1; added < nrest; ++added) {
+    int best = -1;
+    for (int i = 0; i < nrest; ++i) {
+      if (!in_tree[i] && (best < 0 || dist[i] < dist[best])) best = i;
+    }
+    in_tree[best] = true;
+    mst += dist[best];
+    for (int i = 0; i < nrest; ++i) {
+      if (!in_tree[i]) dist[i] = std::min(dist[i], wat(rest[best], rest[i]));
+    }
+  }
+
+  // Cheapest links from the subtour's tail to the tree and from the tree
+  // back to the start city.
+  const int tail = br.path[br.depth - 1];
+  double link_out = std::numeric_limits<double>::infinity();
+  double link_back = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < nrest; ++i) {
+    link_out = std::min(link_out, wat(tail, rest[i]));
+    link_back = std::min(link_back, wat(rest[i], 0));
+  }
+  return br.cost + mst + link_out + link_back;
+}
+
+/// Greedy nearest-neighbour tour for the initial upper bound.
+double greedy_tour(const std::vector<double>& w, int n) {
+  bool used[kMaxCities] = {true};
+  int at = 0;
+  double total = 0.0;
+  for (int step = 1; step < n; ++step) {
+    int best = -1;
+    for (int c = 1; c < n; ++c) {
+      if (used[c]) continue;
+      const auto cost = w[static_cast<std::size_t>(at) *
+                              static_cast<std::size_t>(n) +
+                          static_cast<std::size_t>(c)];
+      if (best < 0 ||
+          cost < w[static_cast<std::size_t>(at) * static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    total += w[static_cast<std::size_t>(at) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(best)];
+    used[best] = true;
+    at = best;
+  }
+  return total + w[static_cast<std::size_t>(at)];  // back to city 0 (col 0)
+}
+
+}  // namespace
+
+RunOutcome run_tsp(Runtime& rt, const TspParams& params) {
+  const int n = params.cities;
+  IVY_CHECK_LE(n, kMaxCities);
+  const int procs = params.processes > 0 ? params.processes
+                                         : static_cast<int>(rt.nodes());
+  const auto nn = static_cast<std::size_t>(n);
+
+  auto weights = rt.alloc_array<double>(nn * nn);
+  auto pool = rt.alloc_array<Branch>(kPoolCapacity);
+  // The lock and the control words live together on one page (the same
+  // locality trick the paper applies to eventcounts): acquiring the lock
+  // pulls the pool count, the bound and the outstanding counter with it.
+  // The lock's waiter queue needs 16 bytes per waiting process; 48
+  // records cover far more workers than any configuration here and leave
+  // the tail of the page for the control words.
+  const SvmAddr ctrl = rt.alloc_raw(rt.config().page_size);
+  sync::SvmLock lock(ctrl);
+  const SvmAddr words =
+      ctrl + sync::SvmLock::kHeaderBytes + 48 * sizeof(sync::SvmLock::WaitRecord);
+  IVY_CHECK_LE(words + 16, ctrl + rt.config().page_size);
+  SharedScalar<double> best(words);
+  SharedScalar<std::int32_t> pool_count(words + 8);
+  SharedScalar<std::int32_t> outstanding(words + 12);
+
+  const Time start = rt.now();
+
+  rt.spawn_on(0, [=, seed = params.seed]() mutable {
+    const auto w = gen_tsp_weights(n, seed);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      weights[i] = w[i];
+      charge(1);
+    }
+    best.set(greedy_tour(w, n));
+    Branch root;
+    root.depth = 1;
+    root.path[0] = 0;
+    pool[0] = root;
+    pool_count.set(1);
+    outstanding.set(1);
+  });
+  rt.run();
+
+  for (int p = 0; p < procs; ++p) {
+    rt.spawn_on(static_cast<NodeId>(p) % rt.nodes(), [=]() mutable {
+      // Pull the (read-only) weight matrix once; its pages replicate.
+      std::vector<double> w(nn * nn);
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w[i] = static_cast<double>(weights[i]);
+      }
+      // One critical section per branch: publish the previous branch's
+      // results (children, bound improvement, outstanding delta) and pop
+      // the next branch under a single lock acquisition.
+      Branch children[kMaxCities];
+      int nchildren = 0;
+      std::int32_t delta = 0;
+      double found_tour = std::numeric_limits<double>::infinity();
+      for (;;) {
+        lock.lock();
+        if (found_tour < best.get()) best.set(found_tour);
+        found_tour = std::numeric_limits<double>::infinity();
+        std::int32_t pc = pool_count.get();
+        IVY_CHECK_LE(static_cast<std::size_t>(pc) +
+                         static_cast<std::size_t>(nchildren),
+                     kPoolCapacity);
+        for (int c = 0; c < nchildren; ++c) {
+          pool.set(static_cast<std::size_t>(pc++), children[c]);
+        }
+        delta += nchildren;
+        nchildren = 0;
+        Branch br;
+        bool have = false;
+        if (pc > 0) {
+          br = pool.get(static_cast<std::size_t>(pc) - 1);
+          --pc;
+          have = true;  // its consumption (-1) is published after processing
+        }
+        pool_count.set(pc);
+        if (delta != 0) outstanding.set(outstanding.get() + delta);
+        const std::int32_t out = outstanding.get();
+        delta = 0;
+        lock.unlock();
+        if (!have) {
+          if (out == 0) break;  // search exhausted
+          charge(512);          // idle poll backoff: don't steal the pool page
+          continue;
+        }
+
+        // The Held-Karp 1-tree bound runs a few dozen subgradient-ascent
+        // passes, each an O(n^2) MST — the dominant per-branch work.
+        charge(static_cast<std::int64_t>(n) * n * 30);
+        const double ub = best.get();
+        delta = -1;  // this branch is consumed
+
+        if (static_cast<int>(br.depth) == n) {
+          found_tour =
+              br.cost + w[static_cast<std::size_t>(br.path[n - 1]) * nn];
+          continue;
+        }
+        if (lower_bound(w, n, br) < ub) {
+          bool visited[kMaxCities] = {};
+          for (std::uint32_t i = 0; i < br.depth; ++i) {
+            visited[br.path[i]] = true;
+          }
+          for (int c = 1; c < n; ++c) {
+            if (visited[c]) continue;
+            Branch child = br;
+            child.path[child.depth++] = static_cast<std::uint8_t>(c);
+            child.cost += w[static_cast<std::size_t>(br.path[br.depth - 1]) *
+                                nn +
+                            static_cast<std::size_t>(c)];
+            if (child.cost < ub) children[nchildren++] = child;
+          }
+        }
+      }
+    });
+  }
+  rt.run();
+  const Time elapsed = rt.now() - start;
+
+  const double got = rt.host_read<double>(best.address());
+  const double expect = tsp_oracle(gen_tsp_weights(n, params.seed), n);
+  const bool ok = std::abs(got - expect) < 1e-9;
+  return RunOutcome{elapsed, ok,
+                    "tsp cities=" + std::to_string(n) + " best=" +
+                        std::to_string(got) + " expect=" +
+                        std::to_string(expect)};
+}
+
+}  // namespace ivy::apps

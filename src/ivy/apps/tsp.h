@@ -1,0 +1,23 @@
+// Traveling Salesman Problem — "a simplified version of the
+// branch-and-bound approach [Held-Karp].  At each step, a 1-tree ... of
+// the remaining graph is computed.  The sum of the cost of the subtour
+// and the 1-tree is compared with the cost of the current least upper
+// bound. ... The available branches, the graph, and the least upper bound
+// are stored in the shared virtual memory.  The program creates a process
+// for each processor ... Each process ... needs to access shared data
+// structures mutually exclusively."
+#pragma once
+
+#include "ivy/apps/workload.h"
+
+namespace ivy::apps {
+
+struct TspParams {
+  int cities = 10;  ///< paper used 12–13-city instances
+  int processes = 0;
+  std::uint64_t seed = 0x75b;
+};
+
+RunOutcome run_tsp(Runtime& rt, const TspParams& params);
+
+}  // namespace ivy::apps

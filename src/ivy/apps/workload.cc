@@ -1,0 +1,153 @@
+#include "ivy/apps/workload.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ivy::apps {
+
+std::vector<double> gen_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform() * 2.0 - 1.0;
+  return v;
+}
+
+std::vector<double> gen_dd_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double w = rng.uniform() * 2.0 - 1.0;
+      a[i * n + j] = w;
+      row_sum += std::abs(w);
+    }
+    // Strict diagonal dominance guarantees Jacobi convergence.
+    a[i * n + i] = row_sum + 1.0 + rng.uniform();
+  }
+  return a;
+}
+
+std::vector<double> gen_tsp_weights(int cities, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto n = static_cast<std::size_t>(cities);
+  std::vector<double> w(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = 1.0 + static_cast<double>(rng.below(100));
+      w[i * n + j] = d;
+      w[j * n + i] = d;
+    }
+  }
+  return w;
+}
+
+std::vector<SortRecord> gen_records(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SortRecord> recs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (char& c : recs[i].key) {
+      c = static_cast<char>('a' + rng.below(26));
+    }
+    recs[i].payload = static_cast<std::uint32_t>(i);
+    recs[i].pad = 0;
+  }
+  return recs;
+}
+
+std::vector<std::uint32_t> gen_permutation(std::size_t n,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(p[i - 1], p[rng.below(i)]);
+  }
+  return p;
+}
+
+std::vector<double> jacobi_oracle(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  std::size_t n, int iterations) {
+  std::vector<double> x(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) sum += a[i * n + j] * x[j];
+      }
+      next[i] = (b[i] - sum) / a[i * n + i];
+    }
+    x.swap(next);
+  }
+  return x;
+}
+
+std::vector<double> pde3d_oracle(const std::vector<double>& rhs,
+                                 std::size_t m, int iterations) {
+  const auto idx = [m](std::size_t i, std::size_t j, std::size_t k) {
+    return (i * m + j) * m + k;
+  };
+  std::vector<double> u(m * m * m, 0.0);
+  std::vector<double> next(m * m * m, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        for (std::size_t k = 0; k < m; ++k) {
+          double sum = 0.0;
+          if (i > 0) sum += u[idx(i - 1, j, k)];
+          if (i + 1 < m) sum += u[idx(i + 1, j, k)];
+          if (j > 0) sum += u[idx(i, j - 1, k)];
+          if (j + 1 < m) sum += u[idx(i, j + 1, k)];
+          if (k > 0) sum += u[idx(i, j, k - 1)];
+          if (k + 1 < m) sum += u[idx(i, j, k + 1)];
+          next[idx(i, j, k)] = (sum + rhs[idx(i, j, k)]) / 6.0;
+        }
+      }
+    }
+    u.swap(next);
+  }
+  return u;
+}
+
+namespace {
+
+void tsp_dfs(const std::vector<double>& w, int n, std::vector<int>& tour,
+             std::vector<bool>& used, double cost, double& best) {
+  const int depth = static_cast<int>(tour.size());
+  if (cost >= best) return;
+  if (depth == n) {
+    const double total = cost + w[static_cast<std::size_t>(tour.back()) *
+                                      static_cast<std::size_t>(n) +
+                                  static_cast<std::size_t>(tour.front())];
+    best = std::min(best, total);
+    return;
+  }
+  for (int c = 1; c < n; ++c) {
+    if (used[static_cast<std::size_t>(c)]) continue;
+    used[static_cast<std::size_t>(c)] = true;
+    tour.push_back(c);
+    tsp_dfs(w, n, tour, used, cost +
+                w[static_cast<std::size_t>(tour[tour.size() - 2]) *
+                      static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(c)],
+            best);
+    tour.pop_back();
+    used[static_cast<std::size_t>(c)] = false;
+  }
+}
+
+}  // namespace
+
+double tsp_oracle(const std::vector<double>& w, int cities) {
+  std::vector<int> tour{0};
+  std::vector<bool> used(static_cast<std::size_t>(cities), false);
+  used[0] = true;
+  double best = std::numeric_limits<double>::infinity();
+  tsp_dfs(w, cities, tour, used, 0.0, best);
+  return best;
+}
+
+}  // namespace ivy::apps

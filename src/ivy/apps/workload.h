@@ -1,0 +1,86 @@
+// Shared infrastructure for the six benchmark programs of the paper's
+// evaluation: deterministic input generators, sequential oracles for
+// verification, and the common run-outcome record.
+//
+// Every app follows the same pattern the paper describes: data structures
+// in shared virtual memory, a parameterized partitioning ("any program
+// does its best for any given number of processors"), initialization on
+// one processor, and eventcount/lock synchronization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ivy/base/rng.h"
+#include "ivy/ivy.h"
+
+namespace ivy::apps {
+
+struct RunOutcome {
+  Time elapsed = 0;    ///< virtual time of the whole program (init + compute)
+  bool verified = false;
+  std::string detail;  ///< human-readable result summary
+};
+
+/// Record sorted by the merge-split program: "a vector of records that
+/// contain random strings".
+struct SortRecord {
+  char key[16];
+  std::uint32_t payload;
+  std::uint32_t pad;
+
+  friend bool operator<(const SortRecord& a, const SortRecord& b) {
+    const int c = __builtin_memcmp(a.key, b.key, sizeof(a.key));
+    return c != 0 ? c < 0 : a.payload < b.payload;
+  }
+  friend bool operator==(const SortRecord& a, const SortRecord& b) {
+    return __builtin_memcmp(a.key, b.key, sizeof(a.key)) == 0 &&
+           a.payload == b.payload;
+  }
+};
+static_assert(sizeof(SortRecord) == 24);
+
+/// Deterministic generators — every consumer regenerates identical data
+/// from the seed, so oracles never need to read the SVM image.
+[[nodiscard]] std::vector<double> gen_vector(std::size_t n,
+                                             std::uint64_t seed);
+/// Diagonally dominant matrix, row-major (Jacobi converges on it).
+[[nodiscard]] std::vector<double> gen_dd_matrix(std::size_t n,
+                                                std::uint64_t seed);
+/// Symmetric TSP weight matrix with weights in [1, 100].
+[[nodiscard]] std::vector<double> gen_tsp_weights(int cities,
+                                                  std::uint64_t seed);
+[[nodiscard]] std::vector<SortRecord> gen_records(std::size_t n,
+                                                  std::uint64_t seed);
+/// Random permutation of [0, n).
+[[nodiscard]] std::vector<std::uint32_t> gen_permutation(std::size_t n,
+                                                         std::uint64_t seed);
+
+// --- sequential oracles ------------------------------------------------------
+
+[[nodiscard]] std::vector<double> jacobi_oracle(const std::vector<double>& a,
+                                                const std::vector<double>& b,
+                                                std::size_t n, int iterations);
+
+/// 3-D Poisson-style 7-point Jacobi sweep oracle; grids are m^3,
+/// lexicographic (i*m + j)*m + k, zero boundary.
+[[nodiscard]] std::vector<double> pde3d_oracle(const std::vector<double>& rhs,
+                                               std::size_t m, int iterations);
+
+/// Exact TSP tour cost by branch and bound (small instances).
+[[nodiscard]] double tsp_oracle(const std::vector<double>& w, int cities);
+
+/// Blocked partition helper: [begin, end) of chunk `k` of `parts` over n.
+struct Range {
+  std::size_t begin;
+  std::size_t end;
+};
+[[nodiscard]] constexpr Range partition(std::size_t n, int parts, int k) {
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t ku = static_cast<std::size_t>(k);
+  const std::size_t begin = ku * base + std::min(ku, extra);
+  return Range{begin, begin + base + (ku < extra ? 1 : 0)};
+}
+
+}  // namespace ivy::apps

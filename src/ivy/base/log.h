@@ -1,0 +1,60 @@
+// Minimal leveled logger used for protocol tracing.
+//
+// Tracing every message of the coherence protocol is the main debugging
+// tool for a DSM; the logger formats lazily and is compiled to a single
+// branch when the level is off.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "ivy/base/types.h"
+
+namespace ivy {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+namespace log_internal {
+
+LogLevel global_level() noexcept;
+void set_global_level(LogLevel lvl) noexcept;
+void emit(LogLevel lvl, const std::string& text);
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel lvl) : lvl_(lvl) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { emit(lvl_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+/// Sets the minimum level that is emitted (default kWarn, so tests and
+/// benches are quiet).  The IVY_LOG_LEVEL environment variable
+/// (trace|debug|info|warn|off) overrides the default at startup.
+inline void set_log_level(LogLevel lvl) { log_internal::set_global_level(lvl); }
+[[nodiscard]] inline bool log_enabled(LogLevel lvl) {
+  return static_cast<int>(lvl) >= static_cast<int>(log_internal::global_level());
+}
+
+}  // namespace ivy
+
+#define IVY_LOG(lvl)                          \
+  if (!::ivy::log_enabled(::ivy::LogLevel::lvl)) {} else \
+    ::ivy::log_internal::LineBuilder(::ivy::LogLevel::lvl)
+
+#define IVY_TRACE() IVY_LOG(kTrace)
+#define IVY_DEBUG() IVY_LOG(kDebug)
+#define IVY_INFO() IVY_LOG(kInfo)
+#define IVY_WARN() IVY_LOG(kWarn)

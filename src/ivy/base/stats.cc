@@ -1,0 +1,57 @@
+#include "ivy/base/stats.h"
+
+#include <sstream>
+
+namespace ivy {
+
+const std::array<const char*, kCounterCount>& counter_names() {
+  static const std::array<const char*, kCounterCount> kNames = {
+      "read_faults",
+      "write_faults",
+      "local_fault_hits",
+      "page_transfers",
+      "ownership_transfers",
+      "invalidations_sent",
+      "forwards",
+      "broadcasts",
+      "messages",
+      "bytes_on_ring",
+      "retransmissions",
+      "disk_reads",
+      "disk_writes",
+      "evictions",
+      "migrations",
+      "migration_rejects",
+      "proc_spawns",
+      "context_switches",
+      "ec_waits",
+      "ec_advances",
+      "ec_remote_wakeups",
+      "lock_acquisitions",
+      "lock_spins",
+      "alloc_calls",
+      "alloc_remote_calls",
+      "free_calls",
+  };
+  return kNames;
+}
+
+std::size_t Stats::mark_epoch() {
+  const CounterBlock now = aggregate();
+  epochs_.push_back(now.minus(last_mark_));
+  last_mark_ = now;
+  return epochs_.size() - 1;
+}
+
+std::string Stats::summary() const {
+  std::ostringstream out;
+  const CounterBlock agg = aggregate();
+  const auto& names = counter_names();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto v = agg.get(static_cast<Counter>(i));
+    if (v != 0) out << names[i] << " = " << v << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ivy

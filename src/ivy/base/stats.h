@@ -1,0 +1,134 @@
+// System-wide instrumentation counters.
+//
+// The paper's evaluation is entirely about counts and times: page faults,
+// messages, bytes on the ring, disk page transfers per iteration
+// (Table 1), and virtual execution time (Figures 4–6).  Every module
+// increments counters here; experiments snapshot them at epoch boundaries
+// (an "epoch" is an application-defined unit such as one Jacobi
+// iteration).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ivy/base/check.h"
+#include "ivy/base/types.h"
+
+namespace ivy {
+
+/// Fixed roster of counters.  Extend freely; names() must match.
+enum class Counter : std::size_t {
+  kReadFaults = 0,      ///< read page faults taken
+  kWriteFaults,         ///< write page faults taken
+  kLocalFaultHits,      ///< faults resolved without any message (access upgrade)
+  kPageTransfers,       ///< page bodies moved between nodes
+  kOwnershipTransfers,  ///< page ownership moves (with or without body)
+  kInvalidationsSent,   ///< invalidation requests sent
+  kForwards,            ///< fault requests forwarded (probOwner / manager hops)
+  kBroadcasts,          ///< ring broadcasts performed
+  kMessages,            ///< point-to-point protocol messages delivered
+  kBytesOnRing,         ///< modeled bytes transmitted on the ring
+  kRetransmissions,     ///< request retransmissions (drop recovery)
+  kDiskReads,           ///< page-in operations from the simulated disk
+  kDiskWrites,          ///< page-out operations to the simulated disk
+  kEvictions,           ///< frames reclaimed by LRU replacement
+  kMigrations,          ///< process migrations completed
+  kMigrationRejects,    ///< migration requests rejected (below threshold)
+  kProcSpawns,          ///< lightweight processes created
+  kContextSwitches,     ///< dispatcher switches between processes
+  kEcWaits,             ///< eventcount Wait operations that blocked
+  kEcAdvances,          ///< eventcount Advance operations
+  kEcRemoteWakeups,     ///< wakeups delivered to a remote node
+  kLockAcquisitions,    ///< SVM binary lock acquisitions
+  kLockSpins,           ///< failed test-and-set attempts
+  kAllocCalls,          ///< shared-memory allocations
+  kAllocRemoteCalls,    ///< allocations that required an RPC to the central node
+  kFreeCalls,           ///< shared-memory frees
+  kCount                // sentinel
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Human-readable counter names, index-aligned with Counter.
+[[nodiscard]] const std::array<const char*, kCounterCount>& counter_names();
+
+/// Per-node counter block.
+class CounterBlock {
+ public:
+  void bump(Counter c, std::uint64_t by = 1) {
+    values_[static_cast<std::size_t>(c)] += by;
+  }
+  [[nodiscard]] std::uint64_t get(Counter c) const {
+    return values_[static_cast<std::size_t>(c)];
+  }
+  void clear() { values_.fill(0); }
+
+  CounterBlock& operator+=(const CounterBlock& o) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) values_[i] += o.values_[i];
+    return *this;
+  }
+  /// Element-wise difference (for epoch deltas).
+  [[nodiscard]] CounterBlock minus(const CounterBlock& o) const {
+    CounterBlock r;
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+      r.values_[i] = values_[i] - o.values_[i];
+    return r;
+  }
+
+ private:
+  std::array<std::uint64_t, kCounterCount> values_{};
+};
+
+/// Registry of per-node counters with epoch snapshots.
+class Stats {
+ public:
+  explicit Stats(NodeId nodes) : per_node_(nodes) {}
+
+  void bump(NodeId node, Counter c, std::uint64_t by = 1) {
+    IVY_CHECK_LT(node, per_node_.size());
+    per_node_[node].bump(c, by);
+  }
+
+  [[nodiscard]] std::uint64_t node_total(NodeId node, Counter c) const {
+    return per_node_[node].get(c);
+  }
+
+  [[nodiscard]] std::uint64_t total(Counter c) const {
+    std::uint64_t sum = 0;
+    for (const auto& blk : per_node_) sum += blk.get(c);
+    return sum;
+  }
+
+  [[nodiscard]] CounterBlock aggregate() const {
+    CounterBlock sum;
+    for (const auto& blk : per_node_) sum += blk;
+    return sum;
+  }
+
+  /// Closes the current epoch: records the delta of aggregated counters
+  /// since the previous mark and returns its index.
+  std::size_t mark_epoch();
+
+  [[nodiscard]] std::size_t epoch_count() const { return epochs_.size(); }
+  [[nodiscard]] const CounterBlock& epoch(std::size_t i) const {
+    IVY_CHECK_LT(i, epochs_.size());
+    return epochs_[i];
+  }
+
+  [[nodiscard]] NodeId nodes() const {
+    return static_cast<NodeId>(per_node_.size());
+  }
+
+  /// Multi-line dump of all non-zero aggregate counters (debug aid).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<CounterBlock> per_node_;
+  std::vector<CounterBlock> epochs_;
+  CounterBlock last_mark_;
+};
+
+}  // namespace ivy

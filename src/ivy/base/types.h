@@ -1,0 +1,125 @@
+// Fundamental identifier and time types shared by every IVY module.
+//
+// IVY addresses a loosely-coupled multiprocessor: a set of nodes
+// (processors with private physical memory) joined by a network.  Nodes,
+// pages of the shared virtual address space, lightweight processes, and
+// virtual time all get small strongly-typed wrappers here so that the
+// protocol code cannot accidentally mix them up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ivy {
+
+/// Index of a simulated processor (a "node" of the loosely-coupled
+/// multiprocessor).  IVY's copysets are stored as 64-bit masks, so a
+/// system is limited to 64 nodes — far above the paper's 8.
+using NodeId = std::uint32_t;
+
+/// Maximum number of nodes supported by a single Topology (copysets are
+/// 64-bit bitmasks).
+inline constexpr NodeId kMaxNodes = 64;
+
+/// Sentinel meaning "no node" (e.g. page owner unknown).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Destination value meaning "all nodes" for ring broadcast.
+inline constexpr NodeId kBroadcast = kNoNode - 1;
+
+/// Index of a page in the shared virtual address space.
+using PageId = std::uint32_t;
+
+inline constexpr PageId kNoPage = std::numeric_limits<PageId>::max();
+
+/// Byte address within the shared virtual address space.  The SVM occupies
+/// the *high* portion of each simulated address space (as in the paper);
+/// address 0 of this type is the base of the shared region.
+using SvmAddr = std::uint64_t;
+
+inline constexpr SvmAddr kNullSvmAddr = std::numeric_limits<SvmAddr>::max();
+
+/// Virtual time in nanoseconds.  All costs in the simulation are integer
+/// nanosecond counts so runs are exactly reproducible.
+using Time = std::int64_t;
+
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+/// Convenience literals for building cost models.
+constexpr Time ns(std::int64_t v) { return v; }
+constexpr Time us(std::int64_t v) { return v * 1'000; }
+constexpr Time ms(std::int64_t v) { return v * 1'000'000; }
+constexpr Time sec(std::int64_t v) { return v * 1'000'000'000; }
+
+/// Seconds as a double, for reporting only.
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+
+/// Process identifier.  As in the paper, a PID is the pair
+/// (processor number, address of its PCB); PCBs live in each node's
+/// private memory, so the pair is globally unique.  `serial` disambiguates
+/// reuse of a PCB slot.
+struct ProcId {
+  NodeId home = kNoNode;       ///< node whose private memory holds the PCB
+  std::uint32_t pcb_index = 0; ///< slot in that node's PCB table
+  std::uint32_t serial = 0;    ///< incarnation counter of the slot
+
+  friend bool operator==(const ProcId&, const ProcId&) = default;
+};
+
+inline constexpr ProcId kNoProc{};
+
+/// Set of nodes, used for copysets and invalidation targets.
+class NodeSet {
+ public:
+  constexpr NodeSet() = default;
+  explicit constexpr NodeSet(std::uint64_t bits) : bits_(bits) {}
+
+  constexpr void add(NodeId n) { bits_ |= bit(n); }
+  constexpr void remove(NodeId n) { bits_ &= ~bit(n); }
+  [[nodiscard]] constexpr bool contains(NodeId n) const {
+    return (bits_ & bit(n)) != 0;
+  }
+  constexpr void clear() { bits_ = 0; }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] int count() const { return __builtin_popcountll(bits_); }
+  [[nodiscard]] constexpr std::uint64_t raw() const { return bits_; }
+
+  constexpr NodeSet& operator|=(const NodeSet& o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+
+  /// Calls `fn(NodeId)` for every member, in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::uint64_t b = bits_;
+    while (b != 0) {
+      const int i = __builtin_ctzll(b);
+      fn(static_cast<NodeId>(i));
+      b &= b - 1;
+    }
+  }
+
+  friend constexpr bool operator==(const NodeSet&, const NodeSet&) = default;
+
+ private:
+  static constexpr std::uint64_t bit(NodeId n) { return 1ULL << n; }
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace ivy
+
+template <>
+struct std::hash<ivy::ProcId> {
+  std::size_t operator()(const ivy::ProcId& p) const noexcept {
+    std::uint64_t v = (static_cast<std::uint64_t>(p.home) << 40) ^
+                      (static_cast<std::uint64_t>(p.pcb_index) << 8) ^
+                      p.serial;
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return static_cast<std::size_t>(v);
+  }
+};

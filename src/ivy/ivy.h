@@ -1,0 +1,45 @@
+// IVY — a shared virtual memory system for parallel computing.
+//
+// Umbrella header and convenience aliases for client programs.  See
+// README.md for a tour; examples/quickstart.cpp is the smallest complete
+// program.
+#pragma once
+
+#include "ivy/base/rng.h"
+#include "ivy/base/stats.h"
+#include "ivy/proc/svm_io.h"
+#include "ivy/runtime/runtime.h"
+#include "ivy/sync/barrier.h"
+#include "ivy/sync/eventcount.h"
+#include "ivy/sync/svm_lock.h"
+
+namespace ivy {
+
+using runtime::Config;
+using runtime::Runtime;
+using runtime::SharedArray;
+using runtime::SharedScalar;
+using sync::Barrier;
+using sync::Eventcount;
+using sync::SvmLock;
+using sync::SvmLockGuard;
+
+/// Node the current process runs on (process context only).
+[[nodiscard]] inline NodeId self_node() {
+  return proc::Scheduler::current_scheduler()->node();
+}
+
+/// PID of the current process.
+[[nodiscard]] inline ProcId current_pid() {
+  return proc::Scheduler::current_pcb()->id;
+}
+
+/// Charges `units` of application compute time (cost model units).
+inline void charge(std::int64_t units) { proc::charge_compute(units); }
+
+/// Marks the current process (non-)migratable.
+inline void set_migratable(bool migratable) {
+  proc::Scheduler::set_migratable(migratable);
+}
+
+}  // namespace ivy

@@ -1,0 +1,75 @@
+// Wire messages of the simulated token ring.
+//
+// The network layer is deliberately ignorant of protocol semantics: a
+// Message carries an opaque kind, an opaque correlation id, a typed
+// payload (std::any — everything lives in one host address space, so
+// "serialization" is a byte count used purely for timing), and the
+// one-byte piggybacked load hint the paper describes ("this byte can be
+// packed into every message at almost no extra cost").
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "ivy/base/types.h"
+
+namespace ivy::net {
+
+/// Message kinds.  The roster is centralized so traces are readable, but
+/// net/ and rpc/ treat the values as opaque.
+enum class MsgKind : std::uint16_t {
+  kInvalid = 0,
+
+  // rpc-internal
+  kRpcReply = 1,
+
+  // svm coherence protocol
+  kReadFault = 0x100,       ///< requester → manager/probOwner: want read copy
+  kWriteFault = 0x101,      ///< requester → manager/probOwner: want ownership
+  kInvalidate = 0x102,      ///< new owner → copyset member
+  kInvalidateBcast = 0x103, ///< broadcast invalidation variant
+  kGrantAck = 0x104,        ///< new owner → old owner: transfer landed
+  kPageOut = 0x110,         ///< (unused on the wire; disk is node-local)
+
+  // process management
+  kMigrateAsk = 0x200,      ///< idle node → loaded node: give me work
+  kMigrateMove = 0x201,     ///< loaded node → idle node: PCB + stack handoff
+  kRemoteResume = 0x202,    ///< wake a process on another node
+  kProcForwarded = 0x203,   ///< PID operation chasing a forwarding pointer
+  kLoadHint = 0x204,        ///< broadcast of scheduling hints (no reply)
+
+  // memory allocation
+  kAllocRequest = 0x300,
+  kFreeRequest = 0x301,
+
+  // eventcount remote operations
+  kEcWakeup = 0x400,
+};
+
+[[nodiscard]] const char* to_string(MsgKind kind);
+
+struct Message {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;  ///< kBroadcast for ring broadcast
+  MsgKind kind = MsgKind::kInvalid;
+
+  /// Correlation id assigned by the rpc layer.  Replies and duplicate
+  /// retransmissions carry the id of the original request.
+  std::uint64_t rpc_id = 0;
+  /// Originator of a (possibly forwarded) request — replies go here.
+  NodeId origin = kNoNode;
+  /// True when this message answers a request.
+  bool is_reply = false;
+
+  std::any payload;
+
+  /// Modeled payload size in bytes (drives ring timing).  Framing
+  /// overhead is added by the cost model.
+  std::uint32_t wire_bytes = 0;
+
+  /// Piggybacked scheduling hint: sender's current process count, as in
+  /// the paper's passive load-balancing scheme.
+  std::uint8_t load_hint = 0;
+};
+
+}  // namespace ivy::net

@@ -1,0 +1,90 @@
+#include "ivy/net/ring.h"
+
+#include <utility>
+
+#include "ivy/base/check.h"
+#include "ivy/base/log.h"
+
+namespace ivy::net {
+
+const char* to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kInvalid: return "invalid";
+    case MsgKind::kRpcReply: return "rpc_reply";
+    case MsgKind::kReadFault: return "read_fault";
+    case MsgKind::kWriteFault: return "write_fault";
+    case MsgKind::kInvalidate: return "invalidate";
+    case MsgKind::kInvalidateBcast: return "invalidate_bcast";
+    case MsgKind::kGrantAck: return "grant_ack";
+    case MsgKind::kPageOut: return "page_out";
+    case MsgKind::kMigrateAsk: return "migrate_ask";
+    case MsgKind::kMigrateMove: return "migrate_move";
+    case MsgKind::kRemoteResume: return "remote_resume";
+    case MsgKind::kProcForwarded: return "proc_forwarded";
+    case MsgKind::kLoadHint: return "load_hint";
+    case MsgKind::kAllocRequest: return "alloc_request";
+    case MsgKind::kFreeRequest: return "free_request";
+    case MsgKind::kEcWakeup: return "ec_wakeup";
+  }
+  return "unknown";
+}
+
+Ring::Ring(sim::Simulator& sim, Stats& stats, NodeId nodes)
+    : sim_(sim), stats_(stats), handlers_(nodes) {
+  IVY_CHECK_GT(nodes, 0u);
+  IVY_CHECK_LE(nodes, kMaxNodes);
+}
+
+void Ring::set_handler(NodeId node, Handler handler) {
+  IVY_CHECK_LT(node, handlers_.size());
+  handlers_[node] = std::move(handler);
+}
+
+void Ring::send(Message msg) {
+  IVY_CHECK_LT(msg.src, handlers_.size());
+  const bool broadcast = msg.dst == kBroadcast;
+  if (!broadcast) IVY_CHECK_LT(msg.dst, handlers_.size());
+
+  const auto& costs = sim_.costs();
+  // Serialize on the shared medium.
+  const Time start = std::max(sim_.now(), busy_until_);
+  const Time duration = costs.transmit_time(msg.wire_bytes);
+  busy_until_ = start + duration;
+  const Time arrival = busy_until_ + costs.msg_latency;
+
+  stats_.bump(msg.src, Counter::kBytesOnRing,
+              msg.wire_bytes + costs.msg_overhead_bytes);
+  if (broadcast) {
+    stats_.bump(msg.src, Counter::kBroadcasts);
+  } else {
+    stats_.bump(msg.src, Counter::kMessages);
+  }
+
+  if (drop_hook_ && drop_hook_(msg)) {
+    IVY_DEBUG() << "ring drop " << to_string(msg.kind) << " " << msg.src
+                << "->" << (broadcast ? -1 : static_cast<int>(msg.dst));
+    return;  // frame lost after occupying the medium
+  }
+
+  if (broadcast) {
+    // The frame circulates the ring; every other station copies it.
+    for (NodeId n = 0; n < handlers_.size(); ++n) {
+      if (n == msg.src) continue;
+      deliver_at(arrival, n, msg);  // payload copied per recipient
+    }
+  } else {
+    deliver_at(arrival, msg.dst, std::move(msg));
+  }
+}
+
+void Ring::deliver_at(Time when, NodeId dst, Message msg) {
+  msg.dst = dst;
+  sim_.schedule_at(when, [this, dst, m = std::move(msg)]() mutable {
+    IVY_CHECK_MSG(handlers_[dst] != nullptr, "no handler for node " << dst);
+    IVY_TRACE() << "deliver " << to_string(m.kind) << " " << m.src << "->"
+                << dst << " rpc=" << m.rpc_id;
+    handlers_[dst](std::move(m));
+  });
+}
+
+}  // namespace ivy::net

@@ -1,0 +1,59 @@
+// Simulated 12 Mbit/s baseband single token ring (the Apollo Domain
+// network of the paper).
+//
+// The medium is shared: only one frame is in flight at a time, so every
+// transmission serializes behind `busy_until_`.  This is the physical
+// effect that saturates speedup curves as nodes are added, and it is
+// modeled explicitly rather than folded into per-message latency.
+//
+// Broadcast is natural on a ring — the frame passes every station — so a
+// broadcast costs one transmission and is delivered to all other nodes.
+//
+// For retransmission-protocol tests, an injectable drop hook may discard
+// any message after it consumed ring time (as a real lost frame would).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ivy/base/stats.h"
+#include "ivy/net/message.h"
+#include "ivy/sim/simulator.h"
+
+namespace ivy::net {
+
+class Ring {
+ public:
+  using Handler = std::function<void(Message&&)>;
+  /// Returns true to drop the (already transmitted) frame.
+  using DropHook = std::function<bool(const Message&)>;
+
+  Ring(sim::Simulator& sim, Stats& stats, NodeId nodes);
+
+  /// Registers the delivery handler for `node`.  Must be set for every
+  /// node before traffic flows.
+  void set_handler(NodeId node, Handler handler);
+
+  /// Transmits `msg` (unicast, or broadcast when dst == kBroadcast).
+  /// Delivery is scheduled as simulator events; handlers run at delivery
+  /// time.
+  void send(Message msg);
+
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  [[nodiscard]] NodeId nodes() const {
+    return static_cast<NodeId>(handlers_.size());
+  }
+  [[nodiscard]] Time busy_until() const noexcept { return busy_until_; }
+
+ private:
+  void deliver_at(Time when, NodeId dst, Message msg);
+
+  sim::Simulator& sim_;
+  Stats& stats_;
+  std::vector<Handler> handlers_;
+  DropHook drop_hook_;
+  Time busy_until_ = 0;
+};
+
+}  // namespace ivy::net

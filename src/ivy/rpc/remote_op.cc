@@ -1,0 +1,249 @@
+#include "ivy/rpc/remote_op.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ivy/base/check.h"
+#include "ivy/base/log.h"
+
+namespace ivy::rpc {
+
+RemoteOp::RemoteOp(sim::Simulator& sim, net::Ring& ring, Stats& stats,
+                   NodeId self)
+    : sim_(sim), ring_(ring), stats_(stats), self_(self),
+      // rpc ids are globally unique: node id in the top bits.
+      next_rpc_id_((static_cast<std::uint64_t>(self) << 40) + 1) {
+  ring_.set_handler(self, [this](net::Message&& msg) {
+    on_message(std::move(msg));
+  });
+}
+
+std::uint64_t RemoteOp::request(NodeId dst, net::MsgKind kind,
+                                std::any payload, std::uint32_t wire_bytes,
+                                ReplyCallback on_reply, Time timeout) {
+  IVY_CHECK(on_reply != nullptr);
+  IVY_CHECK_NE(dst, self_);
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.kind = kind;
+  msg.rpc_id = next_rpc_id_++;
+  msg.origin = self_;
+  msg.payload = std::move(payload);
+  msg.wire_bytes = wire_bytes;
+
+  Outstanding out;
+  out.original = msg;
+  out.on_reply = std::move(on_reply);
+  out.expected_replies = 1;
+  out.last_sent = sim_.now();
+  out.timeout = timeout;
+  const std::uint64_t id = msg.rpc_id;
+  outstanding_.emplace(id, std::move(out));
+  transmit(std::move(msg));
+  arm_retransmit_timer();
+  return id;
+}
+
+std::uint64_t RemoteOp::broadcast(net::MsgKind kind, std::any payload,
+                                  std::uint32_t wire_bytes, BcastReply scheme,
+                                  ReplyCallback on_first,
+                                  AllRepliesCallback on_all, Time timeout) {
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = kBroadcast;
+  msg.kind = kind;
+  msg.rpc_id = next_rpc_id_++;
+  msg.origin = self_;
+  msg.payload = std::move(payload);
+  msg.wire_bytes = wire_bytes;
+  const std::uint64_t id = msg.rpc_id;
+
+  switch (scheme) {
+    case BcastReply::kNone:
+      IVY_CHECK(on_first == nullptr && on_all == nullptr);
+      transmit(std::move(msg));
+      return id;
+    case BcastReply::kAny: {
+      IVY_CHECK(on_first != nullptr && on_all == nullptr);
+      Outstanding out;
+      out.original = msg;
+      out.on_reply = std::move(on_first);
+      out.expected_replies = 1;
+      out.last_sent = sim_.now();
+      out.timeout = timeout;
+      outstanding_.emplace(id, std::move(out));
+      break;
+    }
+    case BcastReply::kAll: {
+      IVY_CHECK(on_first == nullptr && on_all != nullptr);
+      IVY_CHECK_GT(ring_.nodes(), 1u);
+      Outstanding out;
+      out.original = msg;
+      out.on_all = std::move(on_all);
+      out.expected_replies = ring_.nodes() - 1;
+      out.last_sent = sim_.now();
+      outstanding_.emplace(id, std::move(out));
+      break;
+    }
+  }
+  transmit(std::move(msg));
+  arm_retransmit_timer();
+  return id;
+}
+
+void RemoteOp::set_handler(net::MsgKind kind, ServerHandler handler) {
+  IVY_CHECK(handler != nullptr);
+  handlers_[kind] = std::move(handler);
+}
+
+void RemoteOp::reply_to(const net::Message& req, std::any payload,
+                        std::uint32_t wire_bytes) {
+  reply(reply_later(req), std::move(payload), wire_bytes);
+}
+
+void RemoteOp::reply(const PendingReply& pending, std::any payload,
+                     std::uint32_t wire_bytes) {
+  const std::uint64_t key = dedup_key(pending.origin, pending.rpc_id);
+  in_progress_.erase(key);
+  // Cache the reply so a duplicate request can be answered without
+  // re-executing the operation ("resend replies only when necessary").
+  done_cache_.push_back(DoneEntry{key, payload, wire_bytes, pending.kind,
+                                  pending.origin});
+  if (done_cache_.size() > kDoneCacheCapacity) done_cache_.pop_front();
+
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = pending.origin;
+  msg.kind = pending.kind;
+  msg.rpc_id = pending.rpc_id;
+  msg.origin = pending.origin;
+  msg.is_reply = true;
+  msg.payload = std::move(payload);
+  msg.wire_bytes = wire_bytes;
+  // Model the server-side software time before the reply hits the wire.
+  sim_.schedule_after(sim_.costs().fault_server,
+                      [this, m = std::move(msg)]() mutable {
+                        transmit(std::move(m));
+                      });
+}
+
+void RemoteOp::ignore(const net::Message& req) {
+  in_progress_.erase(dedup_key(req.origin, req.rpc_id));
+}
+
+void RemoteOp::forward(net::Message&& req, NodeId next) {
+  IVY_CHECK_NE(next, self_);
+  // Forwarders do not answer; clear the duplicate marker so a client
+  // retransmission is forwarded again (forwarding must be idempotent).
+  in_progress_.erase(dedup_key(req.origin, req.rpc_id));
+  stats_.bump(self_, Counter::kForwards);
+  req.src = self_;
+  req.dst = next;
+  transmit(std::move(req));
+}
+
+void RemoteOp::on_message(net::Message&& msg) {
+  if (hint_consumer_) hint_consumer_(msg.src, msg.load_hint);
+  if (msg.is_reply) {
+    handle_reply(std::move(msg));
+  } else {
+    handle_request(std::move(msg));
+  }
+}
+
+void RemoteOp::transmit(net::Message msg) {
+  if (hint_provider_) msg.load_hint = hint_provider_();
+  ring_.send(std::move(msg));
+}
+
+void RemoteOp::set_orphan_reply_handler(net::MsgKind kind,
+                                        ServerHandler handler) {
+  IVY_CHECK(handler != nullptr);
+  orphan_handlers_[kind] = std::move(handler);
+}
+
+void RemoteOp::handle_reply(net::Message&& msg) {
+  auto it = outstanding_.find(msg.rpc_id);
+  if (it == outstanding_.end()) {
+    // Late duplicate.  Give resource-bearing replies a chance to be
+    // absorbed; drop the rest.
+    if (auto oh = orphan_handlers_.find(msg.kind);
+        oh != orphan_handlers_.end()) {
+      oh->second(std::move(msg));
+    }
+    return;
+  }
+  Outstanding& out = it->second;
+  if (out.on_all) {
+    // kAll broadcast: one reply per peer; duplicates from the same peer
+    // (reply resends) must not double-count.
+    const bool seen = std::any_of(
+        out.replies.begin(), out.replies.end(),
+        [&](const net::Message& m) { return m.src == msg.src; });
+    if (seen) return;
+    out.replies.push_back(std::move(msg));
+    if (out.replies.size() < out.expected_replies) return;
+    auto cb = std::move(out.on_all);
+    auto replies = std::move(out.replies);
+    outstanding_.erase(it);
+    cb(std::move(replies));
+    return;
+  }
+  auto cb = std::move(out.on_reply);
+  outstanding_.erase(it);
+  cb(std::move(msg));
+}
+
+void RemoteOp::handle_request(net::Message&& msg) {
+  const std::uint64_t key = dedup_key(msg.origin, msg.rpc_id);
+  // Completed before?  Resend the cached reply.
+  for (const DoneEntry& done : done_cache_) {
+    if (done.key == key) {
+      net::Message rep;
+      rep.src = self_;
+      rep.dst = done.origin;
+      rep.kind = done.kind;
+      rep.rpc_id = msg.rpc_id;
+      rep.origin = done.origin;
+      rep.is_reply = true;
+      rep.payload = done.payload;
+      rep.wire_bytes = done.wire_bytes;
+      transmit(std::move(rep));
+      return;
+    }
+  }
+  // Still being served?  The reply is on its way; drop the duplicate.
+  if (!in_progress_.emplace(key, true).second) return;
+
+  auto it = handlers_.find(msg.kind);
+  IVY_CHECK_MSG(it != handlers_.end(),
+                "node " << self_ << " has no handler for "
+                        << net::to_string(msg.kind));
+  it->second(std::move(msg));
+}
+
+void RemoteOp::arm_retransmit_timer() {
+  if (timer_armed_ || outstanding_.empty()) return;
+  timer_armed_ = true;
+  sim_.schedule_after(check_interval_, [this] {
+    timer_armed_ = false;
+    retransmit_scan();
+    arm_retransmit_timer();  // keep checking while requests are pending
+  });
+}
+
+void RemoteOp::retransmit_scan() {
+  const Time now = sim_.now();
+  for (auto& [id, out] : outstanding_) {
+    const Time timeout = out.timeout != 0 ? out.timeout : request_timeout_;
+    if (now - out.last_sent < timeout) continue;
+    IVY_DEBUG() << "node " << self_ << " retransmits rpc " << id << " ("
+                << net::to_string(out.original.kind) << ")";
+    stats_.bump(self_, Counter::kRetransmissions);
+    out.last_sent = now;
+    transmit(out.original);  // copy; payload shared_ptr bodies stay cheap
+  }
+}
+
+}  // namespace ivy::rpc

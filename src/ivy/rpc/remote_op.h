@@ -1,0 +1,195 @@
+// IVY's "remote operation" module — a simple request/reply mechanism
+// with the three features the paper calls out:
+//
+//  1. Broadcast/multicast requests with three reply schemes: a reply from
+//     *any* receiver (used to locate page owners), replies from *all*
+//     receivers (used for invalidation), and *no* reply (used for
+//     scheduling hints).
+//  2. Request forwarding: node 1 asks node 2, node 2 forwards to node 3,
+//     ... node k performs the operation and replies directly to node 1
+//     with no intermediate replies — the mechanism that makes the dynamic
+//     distributed manager's probOwner chains cheap.
+//  3. A retransmission protocol that "resends replies only when
+//     necessary": servers remember completed requests and repeat the
+//     cached reply if a duplicate request arrives; clients retransmit
+//     unanswered requests from a half-second periodic check, mirroring
+//     the null-process checking in the paper.
+//
+// One RemoteOp instance exists per node.  Server handlers run as
+// simulator events at message-delivery time (IVY's handlers ran at
+// interrupt level); a handler may answer immediately, defer the reply by
+// keeping a PendingReply handle (used by per-page request queues), or
+// forward the request.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ivy/base/stats.h"
+#include "ivy/net/ring.h"
+
+namespace ivy::rpc {
+
+/// Handle for replying to a request after the handler returned.
+struct PendingReply {
+  NodeId origin = kNoNode;
+  std::uint64_t rpc_id = 0;
+  net::MsgKind kind = net::MsgKind::kInvalid;
+};
+
+enum class BcastReply : std::uint8_t { kAny, kAll, kNone };
+
+class RemoteOp {
+ public:
+  /// on_reply receives the reply message (payload set by the server).
+  using ReplyCallback = std::function<void(net::Message&&)>;
+  /// on_all receives every reply of a kAll broadcast, in arrival order.
+  using AllRepliesCallback = std::function<void(std::vector<net::Message>&&)>;
+  /// Server handler; reply via reply_to()/reply_later() or forward().
+  using ServerHandler = std::function<void(net::Message&&)>;
+
+  RemoteOp(sim::Simulator& sim, net::Ring& ring, Stats& stats, NodeId self);
+
+  RemoteOp(const RemoteOp&) = delete;
+  RemoteOp& operator=(const RemoteOp&) = delete;
+
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+
+  // --- client side -----------------------------------------------------
+
+  /// Sends a request to `dst`; `on_reply` fires exactly once.  `timeout`
+  /// overrides the node's retransmission timeout for this request
+  /// (0 = use the default).
+  std::uint64_t request(NodeId dst, net::MsgKind kind, std::any payload,
+                        std::uint32_t wire_bytes, ReplyCallback on_reply,
+                        Time timeout = 0);
+
+  /// Broadcasts a request.  For kAny, `on_reply` fires once with the
+  /// first reply; for kNone neither callback may be given.
+  std::uint64_t broadcast(net::MsgKind kind, std::any payload,
+                          std::uint32_t wire_bytes, BcastReply scheme,
+                          ReplyCallback on_first = nullptr,
+                          AllRepliesCallback on_all = nullptr,
+                          Time timeout = 0);
+
+  /// Abandons an outstanding request: no callback will fire and no
+  /// retransmissions will be sent.  A reply that still arrives is routed
+  /// to the orphan handler of its kind (so resource-bearing replies are
+  /// not lost).  No-op if the request already completed.
+  void cancel(std::uint64_t rpc_id) { outstanding_.erase(rpc_id); }
+
+  // --- server side -------------------------------------------------------
+
+  void set_handler(net::MsgKind kind, ServerHandler handler);
+
+  /// Handler for replies whose request is no longer outstanding (a
+  /// duplicate answered by a different server after the first reply won).
+  /// Without one, such replies are dropped — fine for idempotent data,
+  /// wrong for replies that carry a resource (page ownership).
+  void set_orphan_reply_handler(net::MsgKind kind, ServerHandler handler);
+
+  /// Replies to `req` immediately (charges server handling time first).
+  void reply_to(const net::Message& req, std::any payload,
+                std::uint32_t wire_bytes);
+
+  /// Captures a deferred-reply handle; the handler returns without
+  /// answering and some later event calls reply().
+  [[nodiscard]] static PendingReply reply_later(const net::Message& req) {
+    return PendingReply{req.origin, req.rpc_id, req.kind};
+  }
+  void reply(const PendingReply& pending, std::any payload,
+             std::uint32_t wire_bytes);
+
+  /// Declares that this node will never answer `req` (e.g. a broadcast
+  /// owner probe received by a non-owner).  Clears the duplicate marker
+  /// so a retransmission is evaluated afresh.
+  void ignore(const net::Message& req);
+
+  /// Forwards `req` to `next` without replying; the eventual server
+  /// replies straight to the originator.
+  void forward(net::Message&& req, NodeId next);
+
+  // --- load hints ---------------------------------------------------------
+
+  /// Provider of this node's one-byte load hint, packed into every
+  /// outgoing message.
+  void set_load_hint_provider(std::function<std::uint8_t()> provider) {
+    hint_provider_ = std::move(provider);
+  }
+  /// Consumer invoked for the hint on every incoming message.
+  void set_load_hint_consumer(
+      std::function<void(NodeId, std::uint8_t)> consumer) {
+    hint_consumer_ = std::move(consumer);
+  }
+
+  // --- retransmission ------------------------------------------------------
+
+  void set_request_timeout(Time timeout) { request_timeout_ = timeout; }
+  void set_check_interval(Time interval) { check_interval_ = interval; }
+  [[nodiscard]] std::size_t outstanding_requests() const {
+    return outstanding_.size();
+  }
+
+  /// Entry point wired to the ring.
+  void on_message(net::Message&& msg);
+
+ private:
+  struct Outstanding {
+    net::Message original;  ///< kept for retransmission
+    ReplyCallback on_reply;
+    AllRepliesCallback on_all;
+    std::vector<net::Message> replies;  ///< kAll accumulation
+    std::uint32_t expected_replies = 1;
+    Time last_sent = 0;
+    Time timeout = 0;  ///< 0 = node default
+  };
+
+  struct DoneEntry {
+    std::uint64_t key = 0;
+    std::any payload;
+    std::uint32_t wire_bytes = 0;
+    net::MsgKind kind = net::MsgKind::kInvalid;
+    NodeId origin = kNoNode;
+  };
+
+  void transmit(net::Message msg);
+  void handle_reply(net::Message&& msg);
+  void handle_request(net::Message&& msg);
+  void arm_retransmit_timer();
+  void retransmit_scan();
+  static std::uint64_t dedup_key(NodeId origin, std::uint64_t rpc_id) {
+    return (static_cast<std::uint64_t>(origin) << 48) ^ rpc_id;
+  }
+
+  sim::Simulator& sim_;
+  net::Ring& ring_;
+  Stats& stats_;
+  NodeId self_;
+
+  std::uint64_t next_rpc_id_;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  std::unordered_map<net::MsgKind, ServerHandler> handlers_;
+  std::unordered_map<net::MsgKind, ServerHandler> orphan_handlers_;
+
+  // Duplicate-request suppression: in-progress set + bounded cache of
+  // completed replies ("resend replies only when necessary").
+  std::unordered_map<std::uint64_t, bool> in_progress_;
+  std::deque<DoneEntry> done_cache_;
+  static constexpr std::size_t kDoneCacheCapacity = 1024;
+
+  std::function<std::uint8_t()> hint_provider_;
+  std::function<void(NodeId, std::uint8_t)> hint_consumer_;
+
+  // Generous default: page requests can legitimately queue behind long
+  // defer chains under write contention; duplicates are correctness-safe
+  // (orphan absorption) but wasteful.  Drop tests dial this down.
+  Time request_timeout_ = sec(2);
+  Time check_interval_ = ms(500);  // "every half second"
+  bool timer_armed_ = false;
+};
+
+}  // namespace ivy::rpc

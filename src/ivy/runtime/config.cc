@@ -1,0 +1,23 @@
+#include "ivy/runtime/config.h"
+
+#include "ivy/base/check.h"
+
+namespace ivy::runtime {
+
+void Config::validate() const {
+  IVY_CHECK_GT(nodes, 0u);
+  IVY_CHECK_LE(nodes, kMaxNodes);
+  IVY_CHECK_GE(page_size, std::size_t{256});
+  IVY_CHECK_EQ(page_size & (page_size - 1), 0u);  // power of two
+  IVY_CHECK_GT(heap_pages, 0u);
+  IVY_CHECK_GT(stack_region_pages, 0u);
+  IVY_CHECK_GT(frames_per_node, std::size_t{4});
+  IVY_CHECK_LT(manager_node, nodes);
+  IVY_CHECK_LT(initial_owner, nodes);
+  IVY_CHECK_GT(sched.stack_pages, 0u);
+  IVY_CHECK_GT(chunk_bytes, 0u);
+  IVY_CHECK_EQ(chunk_bytes % page_size, 0u);
+  IVY_CHECK_LE(sched.lower_threshold, sched.upper_threshold);
+}
+
+}  // namespace ivy::runtime

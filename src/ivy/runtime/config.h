@@ -1,0 +1,68 @@
+// System configuration — the knobs of the whole machine: topology, page
+// geometry, physical memory per node, coherence algorithm, scheduling and
+// allocation policy, and the virtual-time cost model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ivy/proc/scheduler.h"
+#include "ivy/sim/cost_model.h"
+#include "ivy/svm/svm.h"
+
+namespace ivy::runtime {
+
+struct Config {
+  /// Number of processors on the ring (paper: up to 8).
+  NodeId nodes = 1;
+
+  // --- shared virtual memory geometry -----------------------------------
+  std::size_t page_size = 1024;  ///< paper default: 1 KiB
+  /// Pages in the shared heap (allocatable region).
+  PageId heap_pages = 8192;
+  /// Pages reserved per node for process stacks.
+  std::uint32_t stack_region_pages = 512;
+  /// Physical frames per node.  Make it smaller than the working set to
+  /// reproduce the paging behaviour of Figure 4 / Table 1.
+  std::size_t frames_per_node = 1 << 22;
+  /// Page replacement policy (Aegis: approximate LRU).
+  mem::ReplacementPolicy replacement = mem::ReplacementPolicy::kSampledLru;
+  /// Disk transfers stall the whole node (IVY had no I/O overlap);
+  /// disable to model the integrated scheduler of the conclusion.
+  bool disk_io_stalls_node = true;
+
+  // --- coherence ---------------------------------------------------------
+  svm::ManagerKind manager = svm::ManagerKind::kDynamicDistributed;
+  NodeId manager_node = 0;
+  NodeId initial_owner = 0;
+  bool broadcast_invalidation = false;
+  /// "Distribution of copy sets": read faults may be served by any copy
+  /// holder; copies form a tree and invalidations recurse through it.
+  bool distributed_copysets = false;
+
+  // --- processes -----------------------------------------------------------
+  proc::SchedConfig sched;
+
+  // --- allocation ------------------------------------------------------------
+  /// Use the two-level (chunk-caching) allocator instead of pure
+  /// one-level centralized control.
+  bool two_level_alloc = false;
+  std::size_t chunk_bytes = 64 * 1024;
+
+  // --- timing ----------------------------------------------------------------
+  sim::CostModel costs;
+
+  std::uint64_t seed = 0x19880615;
+  std::string name = "ivy";
+
+  [[nodiscard]] PageId total_pages() const {
+    return heap_pages + nodes * stack_region_pages;
+  }
+  [[nodiscard]] svm::Geometry geometry() const {
+    return svm::Geometry{page_size, total_pages()};
+  }
+  /// Validates internal consistency (counts, bounds); aborts on misuse.
+  void validate() const;
+};
+
+}  // namespace ivy::runtime

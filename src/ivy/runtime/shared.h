@@ -1,0 +1,99 @@
+// Typed views over shared virtual memory.
+//
+// "Programs ... do not need to know where the shared data structures are
+// in the sense that references to these data structures are the same as
+// to other data structures."  SharedArray<T> gives application code plain
+// operator[] syntax; each element access goes through the page-table
+// rights check and, on a miss, the full coherence protocol.
+#pragma once
+
+#include <type_traits>
+
+#include "ivy/proc/svm_io.h"
+
+namespace ivy::runtime {
+
+namespace detail {
+
+/// Lvalue proxy so `a[i] = x`, `x = a[i]`, and `a[i] += x` all work with
+/// the right fault semantics (reads take read faults, stores write
+/// faults, updates both).
+template <typename T>
+class ElementProxy {
+ public:
+  explicit ElementProxy(SvmAddr addr) : addr_(addr) {}
+
+  operator T() const { return proc::svm_read<T>(addr_); }  // NOLINT(google-explicit-constructor)
+
+  ElementProxy& operator=(const T& value) {
+    proc::svm_write<T>(addr_, value);
+    return *this;
+  }
+  ElementProxy& operator=(const ElementProxy& other) {
+    return *this = static_cast<T>(other);
+  }
+  ElementProxy& operator+=(const T& v) { return *this = static_cast<T>(*this) + v; }
+  ElementProxy& operator-=(const T& v) { return *this = static_cast<T>(*this) - v; }
+  ElementProxy& operator*=(const T& v) { return *this = static_cast<T>(*this) * v; }
+
+ private:
+  SvmAddr addr_;
+};
+
+}  // namespace detail
+
+template <typename T>
+class SharedArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "shared memory holds trivially copyable values");
+
+ public:
+  SharedArray() = default;
+  SharedArray(SvmAddr base, std::size_t count) : base_(base), count_(count) {}
+
+  [[nodiscard]] T get(std::size_t i) const {
+    return proc::svm_read<T>(address_of(i));
+  }
+  void set(std::size_t i, const T& value) const {
+    proc::svm_write<T>(address_of(i), value);
+  }
+  [[nodiscard]] detail::ElementProxy<T> operator[](std::size_t i) const {
+    return detail::ElementProxy<T>(address_of(i));
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] SvmAddr address() const { return base_; }
+  [[nodiscard]] SvmAddr address_of(std::size_t i) const {
+    IVY_CHECK_LT(i, count_);
+    return base_ + static_cast<SvmAddr>(i) * sizeof(T);
+  }
+  [[nodiscard]] bool valid() const { return base_ != kNullSvmAddr; }
+
+  /// Sub-view [from, from+len).
+  [[nodiscard]] SharedArray slice(std::size_t from, std::size_t len) const {
+    IVY_CHECK_LE(from + len, count_);
+    return SharedArray(address_of(from), len);
+  }
+
+ private:
+  SvmAddr base_ = kNullSvmAddr;
+  std::size_t count_ = 0;
+};
+
+template <typename T>
+class SharedScalar {
+ public:
+  SharedScalar() = default;
+  explicit SharedScalar(SvmAddr addr) : addr_(addr) {}
+
+  [[nodiscard]] T get() const { return proc::svm_read<T>(addr_); }
+  void set(const T& value) const { proc::svm_write<T>(addr_, value); }
+
+  [[nodiscard]] SvmAddr address() const { return addr_; }
+  [[nodiscard]] bool valid() const { return addr_ != kNullSvmAddr; }
+
+ private:
+  SvmAddr addr_ = kNullSvmAddr;
+};
+
+}  // namespace ivy::runtime

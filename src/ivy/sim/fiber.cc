@@ -1,0 +1,77 @@
+#include "ivy/sim/fiber.h"
+
+#include <cstdint>
+
+#include "ivy/base/check.h"
+
+namespace ivy::sim {
+namespace {
+
+// The simulation is single-threaded; `thread_local` keeps the door open
+// for running independent simulators on different host threads.
+thread_local Fiber* g_current_fiber = nullptr;
+thread_local Fiber* g_starting_fiber = nullptr;
+
+}  // namespace
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(new std::byte[stack_bytes]) {
+  IVY_CHECK(body_ != nullptr);
+  IVY_CHECK_GE(stack_bytes, std::size_t{16 * 1024});
+  IVY_CHECK_EQ(getcontext(&context_), 0);
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_bytes;
+  context_.uc_link = nullptr;  // fibers never fall off; trampoline yields
+  // makecontext only passes int arguments portably, so the fiber pointer
+  // travels through g_starting_fiber instead (safe: resume() sets it
+  // immediately before the first swap, single-threaded per simulator).
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  // Destroying a live fiber would leak whatever its stack owns.  All
+  // call sites join processes before teardown; enforce it.
+  IVY_CHECK_MSG(!started_ || finished(),
+                "fiber destroyed while suspended mid-execution");
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_starting_fiber;
+  g_starting_fiber = nullptr;
+  IVY_CHECK(self != nullptr);
+  self->body_();
+  // Returning from the body means the lightweight process terminated.
+  Fiber::yield(YieldReason::kFinished);
+  IVY_UNREACHABLE("resumed a finished fiber");
+}
+
+YieldReason Fiber::resume() {
+  IVY_CHECK_MSG(g_current_fiber == nullptr,
+                "resume() called from inside a fiber");
+  IVY_CHECK_MSG(!finished(), "resume() on a finished fiber");
+  g_current_fiber = this;
+  if (!started_) {
+    started_ = true;
+    g_starting_fiber = this;
+  }
+  last_reason_ = YieldReason::kRunning;
+  IVY_CHECK_EQ(swapcontext(&return_context_, &context_), 0);
+  g_current_fiber = nullptr;
+  IVY_CHECK_MSG(last_reason_ != YieldReason::kRunning,
+                "fiber switched out without a yield reason");
+  return last_reason_;
+}
+
+void Fiber::yield(YieldReason reason) {
+  Fiber* self = g_current_fiber;
+  IVY_CHECK_MSG(self != nullptr, "yield() outside any fiber");
+  IVY_CHECK(reason != YieldReason::kRunning);
+  self->last_reason_ = reason;
+  g_current_fiber = nullptr;
+  IVY_CHECK_EQ(swapcontext(&self->context_, &self->return_context_), 0);
+  g_current_fiber = self;
+}
+
+Fiber* Fiber::current() noexcept { return g_current_fiber; }
+
+}  // namespace ivy::sim

@@ -1,0 +1,93 @@
+// Discrete-event simulation engine.
+//
+// A single global event queue in virtual time drives everything: message
+// deliveries, process resumptions, load-balance timers, retransmission
+// checks.  Events at equal timestamps run in scheduling order (a
+// monotonically increasing sequence number breaks ties), which makes every
+// run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "ivy/base/check.h"
+#include "ivy/base/types.h"
+#include "ivy/sim/cost_model.h"
+
+namespace ivy::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  explicit Simulator(CostModel costs = {}) : costs_(costs) {}
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] const CostModel& costs() const noexcept { return costs_; }
+
+  /// Schedules `fn` at absolute virtual time `at` (>= now).
+  void schedule_at(Time at, Action fn) {
+    IVY_CHECK_GE(at, now_);
+    queue_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` `delay` nanoseconds from now.
+  void schedule_after(Time delay, Action fn) {
+    IVY_CHECK_GE(delay, 0);
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty.  Returns the final time.
+  Time run_until_idle() {
+    while (step()) {
+    }
+    return now_;
+  }
+
+  /// Runs events while `keep_going()` is true and events remain.
+  template <typename Pred>
+  Time run_while(Pred&& keep_going) {
+    while (keep_going() && step()) {
+    }
+    return now_;
+  }
+
+  /// Executes the next event.  Returns false if the queue was empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // Moving out of a priority_queue top requires the const_cast idiom;
+    // the element is popped immediately after, before any reordering.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    IVY_CHECK_GE(ev.at, now_);
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Action fn;
+    friend bool operator>(const Event& a, const Event& b) {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  CostModel costs_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace ivy::sim

@@ -1,0 +1,267 @@
+// Shared owner-side mechanics of all coherence managers.
+#include "ivy/svm/manager.h"
+
+#include <utility>
+
+#include "ivy/base/log.h"
+
+namespace ivy::svm {
+
+std::unique_ptr<Manager> Manager::create(Svm& svm) {
+  switch (svm.options().manager) {
+    case ManagerKind::kCentralized:
+      return std::make_unique<CentralizedManager>(svm);
+    case ManagerKind::kFixedDistributed:
+      return std::make_unique<FixedDistributedManager>(svm);
+    case ManagerKind::kDynamicDistributed:
+      return std::make_unique<DynamicDistributedManager>(svm);
+    case ManagerKind::kBroadcast:
+      return std::make_unique<BroadcastManager>(svm);
+  }
+  IVY_UNREACHABLE("bad manager kind");
+}
+
+void Manager::start_fault(PageId page, Access want) {
+  if (want == Access::kWrite && try_local_write_upgrade(page)) return;
+  const PageEntry& entry = svm_.table().at(page);
+  IVY_CHECK_MSG(!entry.owned, "remote fault on owned page " << page);
+  route_initial(page, want == Access::kRead ? net::MsgKind::kReadFault
+                                            : net::MsgKind::kWriteFault);
+}
+
+bool Manager::try_local_write_upgrade(PageId page) {
+  PageEntry& entry = svm_.table().at(page);
+  if (!entry.owned) return false;
+  // The on-disk case was peeled off as a disk fault before reaching here.
+  IVY_CHECK(!entry.on_disk);
+  IVY_CHECK(entry.access != Access::kNil);
+  svm_.stats().bump(svm_.self(), Counter::kLocalFaultHits);
+  ++entry.version;
+  svm_.invalidate_copies(page, [this, page] {
+    PageEntry& e = svm_.table().at(page);
+    e.copyset.clear();
+    e.access = Access::kWrite;
+    svm_.complete_fault(page);
+  });
+  return true;
+}
+
+void Manager::on_fault_request(net::Message&& msg) {
+  const auto payload = std::any_cast<FaultPayload>(msg.payload);
+  const PageId page = payload.page;
+  PageEntry& entry = svm_.table().at(page);
+
+  if (msg.origin == svm_.self()) {
+    // Our own request ghosted back to us: a stale hint somewhere routes
+    // toward us instead of the real owner.  If the fault is still
+    // pending, abandon the bounced request and retry — first along our
+    // own (possibly fresher) hint, then, if the hints have degenerated
+    // into a cycle, by locating the owner with a broadcast.  A
+    // superseded request's reply, if it ever arrives, is absorbed by the
+    // orphan machinery.
+    svm_.rpc().ignore(msg);
+    if (entry.fault_in_progress && entry.fault_level != Access::kNil) {
+      svm_.rpc().cancel(entry.fault_rpc);
+      ++entry.bounce_count;
+      retry_fault(page, entry.fault_level == Access::kWrite
+                            ? net::MsgKind::kWriteFault
+                            : net::MsgKind::kReadFault);
+    }
+    return;
+  }
+  if (svm_.resend_pending_grant(msg)) return;
+  if (payload.broadcast && !entry.owned) {
+    // Broadcast probe at a non-owner: every node (including the owner)
+    // received its own copy; ours carries no information.
+    svm_.rpc().ignore(msg);
+    return;
+  }
+  if (entry.busy()) {
+    if (!defer_busy_requests()) {
+      // Broadcast probes reach every node including the live owner; a
+      // busy bystander (or owner-to-be) simply stays silent and the
+      // requester's retransmission finds the owner once it exists.
+      // Deferring a *copy* of a broadcast here could serve it a second
+      // time later, after another server already answered it.
+      svm_.rpc().ignore(msg);
+      return;
+    }
+    // This node is itself mid-fault (or in post-fault grace, or holding
+    // a pending ownership transfer) on the page; the request is replayed
+    // once that settles.  In particular an owner-to-be queues requests
+    // until its ownership arrives.
+    svm_.defer_request(page, std::move(msg));
+    return;
+  }
+  if (entry.owned) {
+    if (entry.on_disk) {
+      // Serving requires the image; restore first, then replay.
+      svm_.defer_request(page, std::move(msg));
+      svm_.begin_disk_restore(page);
+      return;
+    }
+    if (msg.kind == net::MsgKind::kReadFault) {
+      serve_read(std::move(msg), page);
+    } else {
+      serve_write(std::move(msg), page);
+    }
+    return;
+  }
+  route_request(std::move(msg), page);
+}
+
+void Manager::serve_read(net::Message&& msg, PageId page) {
+  PageEntry& entry = svm_.table().at(page);
+  IVY_CHECK(entry.owned && !entry.on_disk);
+  // Granting a read copy forces the owner itself down to read access.
+  entry.access = Access::kRead;
+  entry.copyset.add(msg.origin);
+
+  GrantPayload grant;
+  grant.page = page;
+  grant.version = entry.version;
+  grant.write_grant = false;
+  grant.body = svm_.snapshot(page);  // a read fault always wants the data
+  svm_.stats().bump(svm_.self(), Counter::kPageTransfers);
+  svm_.rpc().reply_to(msg, grant, grant.wire_bytes());
+}
+
+void Manager::serve_write(net::Message&& msg, PageId page) {
+  const auto payload = std::any_cast<FaultPayload>(msg.payload);
+  PageEntry& entry = svm_.table().at(page);
+  IVY_CHECK(entry.owned && !entry.on_disk);
+
+  ++entry.version;
+  GrantPayload grant;
+  grant.page = page;
+  grant.version = entry.version;
+  grant.write_grant = true;
+  grant.copyset = entry.copyset;
+  grant.copyset.remove(msg.origin);
+  const bool requester_copy_valid =
+      payload.has_copy && entry.copyset.contains(msg.origin);
+  if (!requester_copy_valid) {
+    grant.body = svm_.snapshot(page);
+    svm_.stats().bump(svm_.self(), Counter::kPageTransfers);
+  }
+  svm_.stats().bump(svm_.self(), Counter::kOwnershipTransfers);
+
+  // Two-phase relinquish: keep the token and the data until the new
+  // owner's kGrantAck; all requests for the page defer meanwhile.
+  note_write_grant(page, msg.origin);
+  svm_.rpc().reply_to(msg, grant, grant.wire_bytes());
+  svm_.begin_pending_transfer(page, msg.origin, entry.version);
+}
+
+void Manager::on_grant(net::Message&& reply) {
+  const auto grant = std::any_cast<GrantPayload>(reply.payload);
+  const PageId page = grant.page;
+  PageEntry& entry = svm_.table().at(page);
+  if (!entry.fault_in_progress || entry.fault_level == Access::kNil) {
+    // No requester fault is waiting for this grant (the fault completed
+    // through another path, or the fault-in-progress marker belongs to a
+    // disk restore / pending outbound transfer).  If the grant carries
+    // the ownership token, absorb or abort it — never drop it.
+    svm_.absorb_grant(grant, reply.src);
+    return;
+  }
+
+  if (!grant.write_grant) {
+    if (grant.version < entry.version) {
+      // The copy was invalidated while the (retransmitted) grant was in
+      // flight; the data is stale.  Retry the fault.
+      IVY_DEBUG() << "node " << svm_.self() << " rejects stale read grant of"
+                  << " page " << page;
+      retry_fault(page, net::MsgKind::kReadFault);
+      return;
+    }
+    svm_.install_body(page, grant.body);
+    entry.access = Access::kRead;
+    entry.version = grant.version;
+    entry.prob_owner = reply.src;  // we now know the owner
+    svm_.complete_fault(page);
+    return;
+  }
+
+  if (grant.version <= entry.version) {
+    // Stale ownership era.  Abort the transfer (the old owner resumes)
+    // and chase the live owner again.
+    svm_.send_grant_ack(reply.src, page, grant.version, /*accept=*/false);
+    retry_fault(page, net::MsgKind::kWriteFault);
+    return;
+  }
+  svm_.send_grant_ack(reply.src, page, grant.version, /*accept=*/true);
+  entry.owned = true;
+  entry.version = grant.version;
+  // Merge rather than overwrite: with distributed copysets this node may
+  // itself have served readers, who must be invalidated with the rest.
+  entry.copyset |= grant.copyset;
+  entry.copyset.remove(svm_.self());
+  entry.prob_owner = svm_.self();
+  svm_.install_body(page, grant.body);
+  svm_.invalidate_copies(page, [this, page] {
+    PageEntry& e = svm_.table().at(page);
+    e.copyset.clear();
+    e.access = Access::kWrite;
+    svm_.complete_fault(page);
+  });
+}
+
+void Manager::note_write_grant(PageId, NodeId) {}
+
+void Manager::retry_fault(PageId page, net::MsgKind kind) {
+  PageEntry& entry = svm_.table().at(page);
+  IVY_CHECK(entry.fault_in_progress);
+  if (entry.owned) {
+    // Ownership arrived through an absorbed duplicate while this fault's
+    // own request was still in flight: finish locally.
+    const Access want =
+        kind == net::MsgKind::kWriteFault ? Access::kWrite : Access::kRead;
+    if (satisfies(entry.access, want)) {
+      svm_.complete_fault(page);
+      return;
+    }
+    ++entry.version;
+    svm_.invalidate_copies(page, [this, page] {
+      PageEntry& e = svm_.table().at(page);
+      e.copyset.clear();
+      e.access = Access::kWrite;
+      svm_.complete_fault(page);
+    });
+    return;
+  }
+  if (entry.bounce_count >= 2 && svm_.nodes() > 1) {
+    broadcast_locate(page, kind);
+  } else {
+    route_initial(page, kind);
+  }
+}
+
+void Manager::broadcast_locate(PageId page, net::MsgKind kind) {
+  PageEntry& entry = svm_.table().at(page);
+  FaultPayload payload;
+  payload.page = page;
+  payload.has_copy = entry.access == Access::kRead;
+  payload.hint = entry.prob_owner;
+  payload.broadcast = true;
+  // Busy nodes ignore broadcast probes, so locate retries briskly.
+  entry.fault_rpc = svm_.rpc().broadcast(
+      kind, payload, FaultPayload::kWireBytes, rpc::BcastReply::kAny,
+      [this](net::Message&& reply) { on_grant(std::move(reply)); }, nullptr,
+      ms(50));
+}
+
+void Manager::send_fault(NodeId dst, PageId page, net::MsgKind kind) {
+  PageEntry& entry = svm_.table().at(page);
+  FaultPayload payload;
+  payload.page = page;
+  payload.has_copy = entry.access == Access::kRead;
+  payload.hint = entry.prob_owner;
+  entry.fault_rpc =
+      svm_.rpc().request(dst, kind, payload, FaultPayload::kWireBytes,
+                         [this](net::Message&& reply) {
+                           on_grant(std::move(reply));
+                         });
+}
+
+}  // namespace ivy::svm

@@ -1,0 +1,37 @@
+// Broadcast manager: each fault is located with the remote-operation
+// module's "reply from any receiving processor" broadcast scheme (the
+// paper names locating page owners as the use case for that scheme).
+// Simple, but every fault interrupts every processor — the ablation
+// bench quantifies the cost.
+#include "ivy/svm/manager.h"
+
+namespace ivy::svm {
+
+BroadcastManager::BroadcastManager(Svm& svm) : Manager(svm) {
+  // Busy nodes ignore probes instead of deferring them (see
+  // defer_busy_requests), so a fault that races an ownership move is
+  // resolved by retransmitting the broadcast; the default half-second
+  // cadence would make contended faults glacial.
+  svm.rpc().set_request_timeout(ms(40));
+  svm.rpc().set_check_interval(ms(20));
+}
+
+void BroadcastManager::route_initial(PageId page, net::MsgKind kind) {
+  IVY_CHECK_GT(svm_.nodes(), 1u);
+  PageEntry& entry = svm_.table().at(page);
+  FaultPayload payload;
+  payload.page = page;
+  payload.has_copy = entry.access == Access::kRead;
+  payload.hint = entry.prob_owner;
+  payload.broadcast = true;
+  entry.fault_rpc = svm_.rpc().broadcast(
+      kind, payload, FaultPayload::kWireBytes, rpc::BcastReply::kAny,
+      [this](net::Message&& reply) { on_grant(std::move(reply)); });
+}
+
+void BroadcastManager::route_request(net::Message&& msg, PageId) {
+  // Not the owner: a broadcast probe that is none of our business.
+  svm_.rpc().ignore(msg);
+}
+
+}  // namespace ivy::svm

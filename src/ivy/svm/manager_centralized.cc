@@ -1,0 +1,73 @@
+// Improved centralized manager (paper §"Shared Virtual Memory Mapping",
+// Li & Hudak's improved variant).
+//
+// One node keeps owner[p] for every page; copysets stay with the owners,
+// so the manager forwards a fault in one hop and needs no confirmation:
+// for a write fault it eagerly records the requester as the new owner at
+// forward time, and the serialization of requests through the (moving)
+// owner's deferred queue provides the synchronization the original
+// algorithm achieved with manager-side locks.
+#include "ivy/svm/manager.h"
+
+namespace ivy::svm {
+
+CentralizedManager::CentralizedManager(Svm& svm) : Manager(svm) {
+  if (is_manager()) {
+    owner_map_.assign(svm.geometry().num_pages, svm.options().initial_owner);
+  }
+}
+
+NodeId CentralizedManager::manage(PageId page, net::MsgKind kind,
+                                  NodeId origin) {
+  IVY_CHECK(is_manager());
+  NodeId owner = owner_map_[page];
+  // owner == origin means the map is stale: ownership moved without
+  // telling us (direct handoff by process migration).  The caller falls
+  // back to the requester's own hint.
+  if (owner == origin) owner = kNoNode;
+  if (kind == net::MsgKind::kWriteFault) owner_map_[page] = origin;
+  return owner;
+}
+
+void CentralizedManager::route_initial(PageId page, net::MsgKind kind) {
+  if (!is_manager()) {
+    send_fault(svm_.options().manager_node, page, kind);
+    return;
+  }
+  // The manager is the faulting processor: consult the map locally.
+  NodeId owner = manage(page, kind, svm_.self());
+  if (owner == kNoNode || owner == svm_.self()) {
+    owner = svm_.table().at(page).prob_owner;
+  }
+  IVY_CHECK_NE(owner, svm_.self());
+  send_fault(owner, page, kind);
+}
+
+void CentralizedManager::route_request(net::Message&& msg, PageId page) {
+  if (is_manager()) {
+    const auto payload = std::any_cast<FaultPayload>(msg.payload);
+    NodeId owner = manage(page, msg.kind, msg.origin);
+    if (owner == kNoNode) owner = payload.hint;
+    if (owner == svm_.self() || owner == kNoNode) {
+      // The map (or the requester's hint) points at us, but we are not
+      // the owner — stale bookkeeping after an aborted transfer.  Chase
+      // our own hint instead.
+      owner = svm_.table().at(page).prob_owner;
+    }
+    IVY_CHECK_NE(owner, svm_.self());
+    svm_.rpc().forward(std::move(msg), owner);
+    return;
+  }
+  // A request reached a node that relinquished before it arrived (only
+  // possible through retransmitted duplicates); chase the hint.
+  const NodeId next = svm_.table().at(page).prob_owner;
+  IVY_CHECK_NE(next, svm_.self());
+  // next may equal msg.origin (stale routing); the origin re-issues.
+  svm_.rpc().forward(std::move(msg), next);
+}
+
+void CentralizedManager::note_write_grant(PageId page, NodeId new_owner) {
+  if (is_manager()) owner_map_[page] = new_owner;
+}
+
+}  // namespace ivy::svm

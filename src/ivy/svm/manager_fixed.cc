@@ -1,0 +1,63 @@
+// Fixed distributed manager: "every processor [is given] a predetermined
+// set of pages to manage ... there is one manager per processor, each
+// responsible for the pages specified by the fixed mapping function H".
+// We use the paper's most straightforward H(p) = p mod N.
+#include "ivy/svm/manager.h"
+
+namespace ivy::svm {
+
+FixedDistributedManager::FixedDistributedManager(Svm& svm) : Manager(svm) {
+  // Full-size map; only the entries with manager_of(p) == self are used.
+  owner_map_.assign(svm.geometry().num_pages, svm.options().initial_owner);
+}
+
+NodeId FixedDistributedManager::manage(PageId page, net::MsgKind kind,
+                                       NodeId origin) {
+  IVY_CHECK_EQ(manager_of(page), svm_.self());
+  NodeId owner = owner_map_[page];
+  if (owner == origin) owner = kNoNode;  // stale (migration handoff)
+  if (kind == net::MsgKind::kWriteFault) owner_map_[page] = origin;
+  return owner;
+}
+
+void FixedDistributedManager::route_initial(PageId page, net::MsgKind kind) {
+  const NodeId mgr = manager_of(page);
+  if (mgr != svm_.self()) {
+    send_fault(mgr, page, kind);
+    return;
+  }
+  NodeId owner = manage(page, kind, svm_.self());
+  if (owner == kNoNode || owner == svm_.self()) {
+    owner = svm_.table().at(page).prob_owner;
+  }
+  IVY_CHECK_NE(owner, svm_.self());
+  send_fault(owner, page, kind);
+}
+
+void FixedDistributedManager::route_request(net::Message&& msg, PageId page) {
+  if (manager_of(page) == svm_.self()) {
+    const auto payload = std::any_cast<FaultPayload>(msg.payload);
+    NodeId owner = manage(page, msg.kind, msg.origin);
+    if (owner == kNoNode) owner = payload.hint;
+    if (owner == svm_.self() || owner == kNoNode) {
+      // The map (or the requester's hint) points at us, but we are not
+      // the owner — stale bookkeeping after an aborted transfer.  Chase
+      // our own hint instead.
+      owner = svm_.table().at(page).prob_owner;
+    }
+    IVY_CHECK_NE(owner, svm_.self());
+    svm_.rpc().forward(std::move(msg), owner);
+    return;
+  }
+  const NodeId next = svm_.table().at(page).prob_owner;
+  IVY_CHECK_NE(next, svm_.self());
+  // next may equal msg.origin (stale routing); the origin re-issues.
+  svm_.rpc().forward(std::move(msg), next);
+}
+
+void FixedDistributedManager::note_write_grant(PageId page,
+                                               NodeId new_owner) {
+  if (manager_of(page) == svm_.self()) owner_map_[page] = new_owner;
+}
+
+}  // namespace ivy::svm

@@ -1,0 +1,505 @@
+#include "ivy/svm/svm.h"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "ivy/base/log.h"
+#include "ivy/svm/manager.h"
+
+namespace ivy::svm {
+
+const char* to_string(ManagerKind kind) {
+  switch (kind) {
+    case ManagerKind::kCentralized: return "centralized";
+    case ManagerKind::kFixedDistributed: return "fixed_distributed";
+    case ManagerKind::kDynamicDistributed: return "dynamic_distributed";
+    case ManagerKind::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+Svm::Svm(sim::Simulator& sim, rpc::RemoteOp& rpc, Stats& stats, NodeId self,
+         NodeId num_nodes, const SvmOptions& options)
+    : sim_(sim),
+      rpc_(rpc),
+      stats_(stats),
+      self_(self),
+      nodes_(num_nodes),
+      options_(options),
+      table_(options.geo, options.initial_owner, self),
+      pool_(stats, self, options.geo.page_size, options.frames_per_node,
+            options.replacement, options.seed),
+      disk_(stats, sim.costs(), self) {
+  IVY_CHECK_LT(self, num_nodes);
+  IVY_CHECK_LT(options.initial_owner, num_nodes);
+  IVY_CHECK_LT(options.manager_node, num_nodes);
+
+  pool_.set_evict_callback([this](PageId page, std::span<const std::byte> b) {
+    return on_evict(page, b);
+  });
+  manager_ = Manager::create(*this);
+
+  auto to_manager = [this](net::Message&& msg) {
+    manager_->on_fault_request(std::move(msg));
+  };
+  rpc_.set_handler(net::MsgKind::kReadFault, to_manager);
+  rpc_.set_handler(net::MsgKind::kWriteFault, to_manager);
+  // Ownership is a conserved token: a grant that raced past its (already
+  // answered) request must be absorbed, not dropped.
+  auto orphan = [this](net::Message&& msg) {
+    absorb_grant(std::any_cast<GrantPayload>(msg.payload), msg.src);
+  };
+  rpc_.set_orphan_reply_handler(net::MsgKind::kReadFault, orphan);
+  rpc_.set_orphan_reply_handler(net::MsgKind::kWriteFault, orphan);
+  rpc_.set_handler(net::MsgKind::kInvalidate, [this](net::Message&& msg) {
+    on_invalidate(std::move(msg));
+  });
+  rpc_.set_handler(net::MsgKind::kInvalidateBcast, [this](net::Message&& msg) {
+    on_invalidate(std::move(msg));
+  });
+  rpc_.set_handler(net::MsgKind::kGrantAck, [this](net::Message&& msg) {
+    on_grant_ack(std::move(msg));
+  });
+}
+
+Svm::~Svm() = default;
+
+void Svm::request_access(PageId page, Access want,
+                         std::function<void()> done) {
+  IVY_CHECK(want != Access::kNil);
+  PageEntry& entry = table_.at(page);
+  if (satisfies(entry.access, want)) {
+    done();
+    return;
+  }
+  entry.local_waiters.push_back(LocalWaiter{want, std::move(done)});
+  if (entry.fault_in_progress) {
+    // A fault for this page is already in flight; the waiter queues on
+    // it.  If the level is insufficient the drain loop re-requests.
+    return;
+  }
+  entry.fault_in_progress = true;
+  entry.fault_level = want;
+  stats_.bump(self_, want == Access::kRead ? Counter::kReadFaults
+                                           : Counter::kWriteFaults);
+  if (entry.owned && entry.on_disk) {
+    // Owner's image was paged out: a plain disk fault, no protocol.
+    stats_.bump(self_, Counter::kLocalFaultHits);
+    entry.fault_in_progress = false;  // begin_disk_restore re-arms it
+    begin_disk_restore(page);
+    return;
+  }
+  manager_->start_fault(page, want);
+}
+
+void Svm::read_bytes(SvmAddr addr, std::span<std::byte> out) {
+  const Geometry& geo = options_.geo;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const SvmAddr a = addr + done;
+    const PageId page = geo.page_of(a);
+    const std::size_t off = geo.offset_of(a);
+    const std::size_t chunk = std::min(out.size() - done, geo.page_size - off);
+    const PageEntry& entry = table_.at(page);
+    IVY_CHECK_MSG(satisfies(entry.access, Access::kRead),
+                  "read without access: node " << self_ << " page " << page);
+    const std::byte* frame = usable_frame(page);
+    std::memcpy(out.data() + done, frame + off, chunk);
+    done += chunk;
+  }
+}
+
+void Svm::write_bytes(SvmAddr addr, std::span<const std::byte> in) {
+  const Geometry& geo = options_.geo;
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const SvmAddr a = addr + done;
+    const PageId page = geo.page_of(a);
+    const std::size_t off = geo.offset_of(a);
+    const std::size_t chunk = std::min(in.size() - done, geo.page_size - off);
+    const PageEntry& entry = table_.at(page);
+    IVY_CHECK_MSG(satisfies(entry.access, Access::kWrite),
+                  "write without access: node " << self_ << " page " << page);
+    std::byte* frame = usable_frame(page);
+    std::memcpy(frame + off, in.data() + done, chunk);
+    done += chunk;
+  }
+}
+
+std::byte* Svm::usable_frame(PageId page) {
+  if (std::byte* bytes = pool_.lookup(page); bytes != nullptr) return bytes;
+  // Lazily materialize a zero page: only the owner of a never-touched,
+  // never-spilled page may be here.
+  const PageEntry& entry = table_.at(page);
+  IVY_CHECK_MSG(entry.owned && !entry.on_disk,
+                "no frame for accessible page " << page << " on node "
+                                                << self_);
+  return pool_.acquire(page);
+}
+
+void Svm::begin_disk_restore(PageId page) {
+  PageEntry& entry = table_.at(page);
+  IVY_CHECK(entry.owned && entry.on_disk);
+  IVY_CHECK(!entry.fault_in_progress);
+  entry.fault_in_progress = true;
+  entry.fault_level = Access::kNil;
+  stall_node(sim_.costs().disk_io);
+  sim_.schedule_after(sim_.costs().disk_io, [this, page] {
+    PageEntry& e = table_.at(page);
+    IVY_CHECK(e.owned && e.on_disk);
+    std::byte* bytes = pool_.acquire(page);
+    disk_.read(page, std::span<std::byte>(bytes, options_.geo.page_size));
+    disk_.discard(page);
+    e.on_disk = false;
+    e.access = e.copyset.empty() ? Access::kWrite : Access::kRead;
+    complete_fault(page);
+  });
+}
+
+PageBody Svm::snapshot(PageId page) {
+  const std::byte* bytes = usable_frame(page);
+  return std::make_shared<const std::vector<std::byte>>(
+      bytes, bytes + options_.geo.page_size);
+}
+
+void Svm::install_body(PageId page, const PageBody& body) {
+  if (body == nullptr) {
+    // Ownership-only grant: we promised we still hold a valid copy.
+    IVY_CHECK_MSG(pool_.resident(page),
+                  "bodyless grant but no local copy of page " << page);
+    return;
+  }
+  IVY_CHECK_EQ(body->size(), options_.geo.page_size);
+  std::byte* bytes = pool_.acquire(page);
+  std::memcpy(bytes, body->data(), body->size());
+}
+
+void Svm::complete_fault(PageId page) {
+  PageEntry& entry = table_.at(page);
+  IVY_CHECK(entry.fault_in_progress);
+  entry.fault_in_progress = false;
+  entry.fault_level = Access::kNil;
+  entry.bounce_count = 0;
+
+  auto waiters = std::move(entry.local_waiters);
+  entry.local_waiters.clear();
+  int satisfied = 0;
+  for (LocalWaiter& w : waiters) {
+    if (satisfies(entry.access, w.want)) {
+      ++satisfied;
+      w.resume();
+    } else {
+      // Fault completed below the waiter's level (e.g. read grant while a
+      // writer queued behind it): start the next fault.
+      request_access(page, w.want, std::move(w.resume));
+    }
+  }
+  if (satisfied > 0) {
+    // Hold deferred remote requests until each satisfied waiter performed
+    // its access (ensure_access consumes the grace); see PageEntry::grace.
+    entry.grace = satisfied;
+    // Liveness backstop: if the granted processes never touch the page
+    // (e.g. one migrated away first), release the hold after a bounded
+    // delay rather than starving remote requesters.
+    sim_.schedule_after(50 * sim_.costs().context_switch, [this, page] {
+      PageEntry& e = table_.at(page);
+      if (e.grace > 0 && !e.fault_in_progress) {
+        e.grace = 0;
+        replay_deferred(page);
+      }
+    });
+    return;
+  }
+  replay_deferred(page);
+}
+
+void Svm::consume_grace(PageId page) {
+  PageEntry& entry = table_.at(page);
+  if (entry.grace == 0) return;
+  if (--entry.grace == 0 && !entry.fault_in_progress) {
+    // Replay as a follow-up event, not synchronously: we are inside the
+    // running process's access sequence, and serving a deferred write
+    // request here would revoke the page mid-"instruction".
+    sim_.schedule_at(sim_.now(), [this, page] {
+      const PageEntry& e = table_.at(page);
+      if (!e.busy()) replay_deferred(page);
+    });
+  }
+}
+
+void Svm::replay_deferred(PageId page) {
+  PageEntry& entry = table_.at(page);
+  auto deferred = std::move(entry.deferred_requests);
+  entry.deferred_requests.clear();
+  for (net::Message& msg : deferred) {
+    manager_->on_fault_request(std::move(msg));
+  }
+}
+
+void Svm::defer_request(PageId page, net::Message&& msg) {
+  PageEntry& entry = table_.at(page);
+  entry.deferred_requests.push_back(std::move(msg));
+  // An owner (or a node with a pending outbound transfer) serves its
+  // queue when it settles.  A *non-owner* holding requests is only a
+  // waypoint: its own fault may transitively depend on a requester whose
+  // request it is holding — two concurrent write faults can park each
+  // other's requests and deadlock.  Re-route parked requests along the
+  // (meanwhile improved) hint chain after a short delay.
+  if (entry.owned || entry.reroute_armed) return;
+  entry.reroute_armed = true;
+  sim_.schedule_after(ms(25), [this, page] {
+    PageEntry& e = table_.at(page);
+    e.reroute_armed = false;
+    if (!e.busy() || e.owned || pending_transfers_.contains(page)) {
+      return;  // settled (or about to serve); the normal replay handles it
+    }
+    auto parked = std::move(e.deferred_requests);
+    e.deferred_requests.clear();
+    for (net::Message& m : parked) {
+      manager_->reroute(std::move(m), page);
+    }
+  });
+}
+
+void Svm::invalidate_copies(PageId page, std::function<void()> done) {
+  PageEntry& entry = table_.at(page);
+  const NodeSet copyset = entry.copyset;
+  if (copyset.empty()) {
+    done();
+    return;
+  }
+  const InvalidatePayload payload{page, self_, entry.version};
+
+  if (options_.broadcast_invalidation && nodes_ > 1) {
+    // One ring broadcast, replies from all (the paper's second broadcast
+    // reply scheme).
+    stats_.bump(self_, Counter::kInvalidationsSent);
+    rpc_.broadcast(net::MsgKind::kInvalidateBcast, payload,
+                   InvalidatePayload::kWireBytes, rpc::BcastReply::kAll,
+                   nullptr,
+                   [done = std::move(done)](std::vector<net::Message>&&) {
+                     done();
+                   });
+    return;
+  }
+
+  auto remaining = std::make_shared<int>(copyset.count());
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  copyset.for_each([&](NodeId member) {
+    IVY_CHECK_NE(member, self_);  // owner never sits in its own copyset
+    stats_.bump(self_, Counter::kInvalidationsSent);
+    rpc_.request(member, net::MsgKind::kInvalidate, payload,
+                 InvalidatePayload::kWireBytes,
+                 [remaining, shared_done](net::Message&&) {
+                   if (--*remaining == 0) (*shared_done)();
+                 });
+  });
+}
+
+void Svm::on_invalidate(net::Message&& msg) {
+  const auto payload = std::any_cast<InvalidatePayload>(msg.payload);
+  PageEntry& entry = table_.at(payload.page);
+  // The owner never receives a valid invalidation for its own page, and
+  // a copy at version >= the invalidation's was granted by a newer owner
+  // state; both mean a stale retransmission.  Acknowledge regardless so
+  // the invalidator can finish.
+  if (!entry.owned && payload.version > entry.version) {
+    entry.access = Access::kNil;
+    entry.version = payload.version;
+    entry.prob_owner = payload.new_owner;
+    pool_.release(payload.page);
+    if (options_.distributed_copysets && !entry.copyset.empty()) {
+      // This copy served readers of its own (distributed copysets): the
+      // invalidation recurses down the tree; acknowledge upward only
+      // once every child acknowledged.
+      const auto pending = rpc::RemoteOp::reply_later(msg);
+      invalidate_copies(payload.page, [this, pending, page = payload.page] {
+        table_.at(page).copyset.clear();
+        rpc_.reply(pending, AckPayload{page}, AckPayload::kWireBytes);
+      });
+      return;
+    }
+  }
+  rpc_.reply_to(msg, AckPayload{payload.page}, AckPayload::kWireBytes);
+}
+
+bool Svm::absorb_grant(const GrantPayload& grant, NodeId from) {
+  if (!grant.write_grant) return false;  // read copies carry no resource
+  PageEntry& entry = table_.at(grant.page);
+  if (pending_transfers_.contains(grant.page) ||
+      (entry.fault_in_progress && entry.fault_level == Access::kNil) ||
+      grant.version <= entry.version ||
+      (grant.body == nullptr && !pool_.resident(grant.page))) {
+    // Stale, colliding with a protocol-internal state (outbound transfer
+    // or disk restore), or bodyless without a surviving local copy:
+    // abort the transfer — the old owner still holds the page and data.
+    send_grant_ack(from, grant.page, grant.version, /*accept=*/false);
+    return false;
+  }
+  send_grant_ack(from, grant.page, grant.version, /*accept=*/true);
+  entry.owned = true;
+  entry.version = grant.version;
+  entry.copyset |= grant.copyset;  // keep our own served readers too
+  entry.copyset.remove(self_);
+  entry.prob_owner = self_;
+  entry.on_disk = false;
+  if (grant.body != nullptr) install_body(grant.page, grant.body);
+  entry.access = entry.copyset.empty() ? Access::kWrite : Access::kRead;
+  stats_.bump(self_, Counter::kOwnershipTransfers);
+  if (entry.fault_in_progress) {
+    // The adopted ownership satisfies our own outstanding fault: finish
+    // it now, or our re-issued request would chase a chain ending here.
+    if (entry.fault_level == Access::kWrite &&
+        entry.access != Access::kWrite) {
+      ++entry.version;
+      invalidate_copies(grant.page, [this, page = grant.page] {
+        PageEntry& e = table_.at(page);
+        e.copyset.clear();
+        e.access = Access::kWrite;
+        complete_fault(page);
+      });
+    } else {
+      complete_fault(grant.page);
+    }
+  }
+  return true;
+}
+
+void Svm::begin_pending_transfer(PageId page, NodeId to,
+                                 std::uint64_t version) {
+  PageEntry& entry = table_.at(page);
+  IVY_CHECK(entry.owned);
+  IVY_CHECK(!entry.fault_in_progress);
+  // Hold the token (and the data) until the new owner confirms; defer
+  // every request meanwhile via the fault-in-progress machinery.
+  entry.access = Access::kNil;
+  entry.fault_in_progress = true;
+  entry.fault_level = Access::kNil;
+  pending_transfers_[page] = PendingTransfer{to, version};
+}
+
+void Svm::send_grant_ack(NodeId to, PageId page, std::uint64_t version,
+                         bool accept) {
+  rpc_.request(to, net::MsgKind::kGrantAck,
+               GrantAckPayload{page, version, accept},
+               GrantAckPayload::kWireBytes, [](net::Message&&) {});
+}
+
+void Svm::on_grant_ack(net::Message&& msg) {
+  const auto ack = std::any_cast<GrantAckPayload>(msg.payload);
+  auto it = pending_transfers_.find(ack.page);
+  if (it == pending_transfers_.end() || it->second.version != ack.version) {
+    // Duplicate ack for an already-settled transfer.
+    rpc_.reply_to(msg, AckPayload{ack.page}, AckPayload::kWireBytes);
+    return;
+  }
+  PageEntry& entry = table_.at(ack.page);
+  IVY_CHECK_MSG(entry.owned && entry.fault_in_progress,
+                "grant-ack state: node " << self_ << " page " << ack.page
+                    << " owned=" << entry.owned << " fip="
+                    << entry.fault_in_progress << " lvl="
+                    << static_cast<int>(entry.fault_level) << " acc="
+                    << to_string(entry.access) << " ver=" << entry.version
+                    << " ackver=" << ack.version << " accept="
+                    << ack.accept << " to=" << it->second.to);
+  if (ack.accept) {
+    // Transfer landed: fully relinquish.
+    entry.owned = false;
+    entry.copyset.clear();
+    entry.prob_owner = it->second.to;
+    pool_.release(ack.page);
+    disk_.discard(ack.page);
+    entry.on_disk = false;
+  } else {
+    // Transfer aborted (receiver found the grant stale): resume
+    // ownership; the frame and copyset were never touched.
+    entry.access = entry.copyset.empty() ? Access::kWrite : Access::kRead;
+  }
+  pending_transfers_.erase(it);
+  rpc_.reply_to(msg, AckPayload{ack.page}, AckPayload::kWireBytes);
+  complete_fault(ack.page);  // replay everything deferred meanwhile
+}
+
+bool Svm::resend_pending_grant(const net::Message& msg) {
+  if (msg.kind != net::MsgKind::kWriteFault) return false;
+  const auto payload = std::any_cast<FaultPayload>(msg.payload);
+  auto it = pending_transfers_.find(payload.page);
+  if (it == pending_transfers_.end() || it->second.to != msg.origin) {
+    return false;
+  }
+  // The grant (or its cached resend) was lost; rebuild it from the held
+  // state.  Always ship the body — cheap insurance against the
+  // requester's copy having evicted meanwhile.
+  GrantPayload grant;
+  grant.page = payload.page;
+  grant.version = it->second.version;
+  grant.write_grant = true;
+  grant.copyset = table_.at(payload.page).copyset;
+  grant.copyset.remove(msg.origin);
+  grant.body = snapshot(payload.page);
+  stats_.bump(self_, Counter::kPageTransfers);
+  rpc_.reply_to(msg, grant, grant.wire_bytes());
+  return true;
+}
+
+PageTransfer Svm::detach_page(PageId page, NodeId new_owner, bool with_body) {
+  PageEntry& entry = table_.at(page);
+  IVY_CHECK_MSG(entry.owned, "detach of non-owned page " << page);
+  IVY_CHECK_MSG(!entry.fault_in_progress,
+                "detach during fault on page " << page);
+  PageTransfer transfer;
+  transfer.page = page;
+  transfer.copyset = entry.copyset;
+  ++entry.version;  // ownership changes bump the version
+  transfer.version = entry.version;
+  if (with_body) {
+    if (entry.on_disk) {
+      std::byte* bytes = pool_.acquire(page);
+      disk_.read(page, std::span<std::byte>(bytes, options_.geo.page_size));
+      add_pending_charge(sim_.costs().disk_io);
+    }
+    transfer.body = snapshot(page);
+  }
+  disk_.discard(page);
+  pool_.release(page);
+  entry.owned = false;
+  entry.access = Access::kNil;
+  entry.on_disk = false;
+  entry.copyset.clear();
+  entry.prob_owner = new_owner;
+  return transfer;
+}
+
+void Svm::adopt_page(const PageTransfer& transfer) {
+  PageEntry& entry = table_.at(transfer.page);
+  IVY_CHECK(!entry.owned);
+  IVY_CHECK(!entry.fault_in_progress);
+  entry.owned = true;
+  entry.version = transfer.version;
+  entry.copyset = transfer.copyset;
+  entry.copyset.remove(self_);
+  entry.on_disk = false;
+  entry.prob_owner = self_;
+  if (transfer.body != nullptr) install_body(transfer.page, transfer.body);
+  entry.access = entry.copyset.empty() ? Access::kWrite : Access::kRead;
+  stats_.bump(self_, Counter::kOwnershipTransfers);
+}
+
+mem::FramePool::EvictAction Svm::on_evict(PageId page,
+                                          std::span<const std::byte> bytes) {
+  PageEntry& entry = table_.at(page);
+  if (entry.busy()) return mem::FramePool::EvictAction::kSkip;
+  if (entry.owned) {
+    disk_.write(page, bytes);
+    add_pending_charge(sim_.costs().disk_io);
+    stall_node(sim_.costs().disk_io);
+    entry.on_disk = true;
+    entry.access = Access::kNil;
+    return mem::FramePool::EvictAction::kWriteToDisk;
+  }
+  entry.access = Access::kNil;
+  return mem::FramePool::EvictAction::kDrop;
+}
+
+}  // namespace ivy::svm

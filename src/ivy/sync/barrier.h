@@ -1,0 +1,32 @@
+// Iteration barrier built on a single eventcount, the way the paper's
+// Jacobi programs synchronize ("all the processes are synchronized at
+// each iteration by using an event count"): in round r every party
+// advances once and waits for the value to reach parties * (r + 1).
+#pragma once
+
+#include "ivy/sync/eventcount.h"
+
+namespace ivy::sync {
+
+class Barrier {
+ public:
+  Barrier() = default;
+  Barrier(Eventcount ec, int parties) : ec_(ec), parties_(parties) {}
+
+  /// Blocks until all `parties` processes have arrived for `round`
+  /// (rounds are 0-based and must be used in order by every party).
+  void arrive(std::int64_t round) {
+    ec_.advance();
+    ec_.wait(parties_ * (round + 1));
+  }
+
+  [[nodiscard]] int parties() const { return parties_; }
+  [[nodiscard]] Eventcount& eventcount() { return ec_; }
+  [[nodiscard]] bool valid() const { return ec_.valid() && parties_ > 0; }
+
+ private:
+  Eventcount ec_;
+  int parties_ = 0;
+};
+
+}  // namespace ivy::sync

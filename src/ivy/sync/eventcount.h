@@ -1,0 +1,74 @@
+// Eventcounts — IVY's process synchronization mechanism.
+//
+// "An eventcount synchronization mechanism has four primitive operations:
+// Init, Read, Wait(ec, value), Advance. ... The implementation of these
+// primitives is based on shared virtual memory.  The atomic operation is
+// implemented by pinning memory pages and using test-and-set
+// instructions. ... eventcount primitives become local operations when
+// the eventcount data structure has been paged into the local processor."
+//
+// The data structure lives in a single SVM page: a 64-bit value, a waiter
+// count, and an array of waiter records.  Atomicity comes exactly where
+// the paper gets it: a processor holds write access to the page while it
+// manipulates it, and the manipulation contains no blocking point.
+#pragma once
+
+#include <cstdint>
+
+#include "ivy/base/types.h"
+
+namespace ivy::sync {
+
+class Eventcount {
+ public:
+  Eventcount() = default;
+  /// Binds to an eventcount whose storage starts at `base`
+  /// (page-aligned).  "In most cases, only one page is needed for each
+  /// eventcount"; when more waiters must be parked than one page holds,
+  /// `pages` contiguous pages extend the record array (the paper's
+  /// "additional pages will be linked together").
+  explicit Eventcount(SvmAddr base, std::uint32_t pages = 1)
+      : base_(base), pages_(pages) {}
+
+  /// Re-initializes: value = 0, no waiters.  (Fresh SVM pages are zero,
+  /// so a newly allocated eventcount is already initialized.)
+  void init();
+
+  /// Returns the current value.
+  [[nodiscard]] std::int64_t read();
+
+  /// Increments the value and wakes every process waiting for a value
+  /// now reached.
+  void advance();
+
+  /// Suspends the calling process until the value reaches `value`.
+  void wait(std::int64_t value);
+
+  [[nodiscard]] SvmAddr address() const { return base_; }
+  [[nodiscard]] std::uint32_t pages() const { return pages_; }
+  [[nodiscard]] bool valid() const { return base_ != kNullSvmAddr; }
+
+  struct WaitRecord {
+    std::uint32_t home = 0;
+    std::uint32_t pcb_index = 0;
+    std::uint32_t serial = 0;
+    std::uint32_t epoch = 0;
+    std::int64_t target = 0;
+  };
+  static constexpr std::size_t kHeaderBytes = 16;
+
+  /// Waiter capacity for a given page size and page count.
+  [[nodiscard]] static std::size_t capacity(std::size_t page_size,
+                                            std::uint32_t pages = 1) {
+    return (page_size * pages - kHeaderBytes) / sizeof(WaitRecord);
+  }
+
+ private:
+  /// Acquires write access + the pin/test-and-set preamble.
+  void acquire();
+
+  SvmAddr base_ = kNullSvmAddr;
+  std::uint32_t pages_ = 1;
+};
+
+}  // namespace ivy::sync

@@ -1,0 +1,59 @@
+// Binary locks on shared virtual memory words.
+//
+// "IVY uses a binary lock ... a test-and-set operation is performed on
+// the lock.  A failed process will be put into a queue and will be
+// awakened by an unlock operation."  The lock word and its waiter queue
+// share one SVM page; like eventcounts, atomicity comes from holding
+// write access across a non-blocking manipulation.
+#pragma once
+
+#include <cstdint>
+
+#include "ivy/base/types.h"
+
+namespace ivy::sync {
+
+class SvmLock {
+ public:
+  SvmLock() = default;
+  explicit SvmLock(SvmAddr base) : base_(base) {}
+
+  void lock();
+  void unlock();
+  /// Single test-and-set attempt; true on success.
+  [[nodiscard]] bool try_lock();
+
+  [[nodiscard]] SvmAddr address() const { return base_; }
+  [[nodiscard]] bool valid() const { return base_ != kNullSvmAddr; }
+
+  struct WaitRecord {
+    std::uint32_t home = 0;
+    std::uint32_t pcb_index = 0;
+    std::uint32_t serial = 0;
+    std::uint32_t epoch = 0;
+  };
+  static constexpr std::size_t kHeaderBytes = 16;
+
+  [[nodiscard]] static std::size_t capacity(std::size_t page_size) {
+    return (page_size - kHeaderBytes) / sizeof(WaitRecord);
+  }
+
+ private:
+  void acquire_page();
+
+  SvmAddr base_ = kNullSvmAddr;
+};
+
+/// RAII guard.
+class SvmLockGuard {
+ public:
+  explicit SvmLockGuard(SvmLock& lock) : lock_(lock) { lock_.lock(); }
+  ~SvmLockGuard() { lock_.unlock(); }
+  SvmLockGuard(const SvmLockGuard&) = delete;
+  SvmLockGuard& operator=(const SvmLockGuard&) = delete;
+
+ private:
+  SvmLock& lock_;
+};
+
+}  // namespace ivy::sync

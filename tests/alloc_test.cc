@@ -1,0 +1,200 @@
+// Tests for shared-memory allocation: the first-fit free list (unit +
+// randomized property), the one-level centralized allocator, and the
+// two-level chunk-caching allocator.
+#include <gtest/gtest.h>
+
+#include "ivy/alloc/first_fit.h"
+#include "ivy/ivy.h"
+
+namespace ivy::alloc {
+namespace {
+
+constexpr std::size_t kPage = 256;
+
+TEST(FirstFit, AllocationsArePageAlignedAndRounded) {
+  FirstFit ff(0, 64 * kPage, kPage);
+  const SvmAddr a = ff.allocate(1);
+  const SvmAddr b = ff.allocate(kPage + 1);
+  EXPECT_EQ(a % kPage, 0u);
+  EXPECT_EQ(b % kPage, 0u);
+  EXPECT_EQ(b - a, kPage);               // 1 byte took a whole page
+  EXPECT_EQ(ff.allocate(1) - b, 2 * kPage);  // previous took two pages
+  ff.check_integrity();
+}
+
+TEST(FirstFit, ExhaustionReturnsNull) {
+  FirstFit ff(0, 4 * kPage, kPage);
+  EXPECT_NE(ff.allocate(4 * kPage), kNullSvmAddr);
+  EXPECT_EQ(ff.allocate(1), kNullSvmAddr);
+}
+
+TEST(FirstFit, FreeCoalescesNeighbours) {
+  FirstFit ff(0, 8 * kPage, kPage);
+  const SvmAddr a = ff.allocate(2 * kPage);
+  const SvmAddr b = ff.allocate(2 * kPage);
+  const SvmAddr c = ff.allocate(2 * kPage);
+  (void)c;
+  ff.free(a);
+  ff.free(b);  // merges with a's chunk
+  ff.check_integrity();
+  // The merged 4-page hole satisfies a 4-page request at `a`.
+  EXPECT_EQ(ff.allocate(4 * kPage), a);
+}
+
+TEST(FirstFit, FirstFitPicksLowestHole) {
+  FirstFit ff(0, 16 * kPage, kPage);
+  const SvmAddr a = ff.allocate(2 * kPage);
+  (void)ff.allocate(kPage);  // plug
+  const SvmAddr c = ff.allocate(4 * kPage);
+  (void)ff.allocate(kPage);  // plug
+  ff.free(a);
+  ff.free(c);
+  // A 2-page request fits the first (lower) hole even though the second
+  // is larger.
+  EXPECT_EQ(ff.allocate(2 * kPage), a);
+}
+
+TEST(FirstFit, RandomizedAllocFreeKeepsIntegrity) {
+  Rng rng(0xa110c);
+  FirstFit ff(0, 512 * kPage, kPage);
+  std::vector<SvmAddr> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.chance(0.55)) {
+      const std::size_t bytes = 1 + rng.below(6 * kPage);
+      const SvmAddr a = ff.allocate(bytes);
+      if (a != kNullSvmAddr) {
+        // No overlap with anything live (page-granular check).
+        live.push_back(a);
+      }
+    } else {
+      const std::size_t idx = rng.below(live.size());
+      ff.free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (step % 111 == 0) ff.check_integrity();
+  }
+  for (SvmAddr a : live) ff.free(a);
+  ff.check_integrity();
+  EXPECT_EQ(ff.bytes_free(), ff.bytes_total());
+  EXPECT_EQ(ff.live_allocations(), 0u);
+  EXPECT_EQ(ff.free_chunks(), 1u);  // fully coalesced again
+}
+
+runtime::Config alloc_config(NodeId nodes, bool two_level) {
+  runtime::Config cfg;
+  cfg.nodes = nodes;
+  cfg.heap_pages = 2048;
+  cfg.stack_region_pages = 64;
+  cfg.two_level_alloc = two_level;
+  cfg.chunk_bytes = 16 * 1024;
+  return cfg;
+}
+
+TEST(CentralAllocatorTest, RemoteAllocationRoundTrips) {
+  runtime::Runtime rt(alloc_config(2, false));
+  SvmAddr got = kNullSvmAddr;
+  rt.spawn_on(1, [&rt, &got] {
+    got = rt.heap(1).allocate(4096);
+    // The allocation is immediately usable shared memory.
+    proc::svm_write<std::uint64_t>(got, 123);
+  });
+  rt.run();
+  ASSERT_NE(got, kNullSvmAddr);
+  EXPECT_EQ(rt.host_read<std::uint64_t>(got), 123u);
+  EXPECT_EQ(rt.stats().total(Counter::kAllocRemoteCalls), 1u);
+}
+
+TEST(CentralAllocatorTest, ConcurrentAllocationsAreDisjoint) {
+  runtime::Runtime rt(alloc_config(4, false));
+  auto out = rt.alloc_array<SvmAddr>(16);
+  for (NodeId n = 0; n < 4; ++n) {
+    rt.spawn_on(n, [=, &rt]() mutable {
+      for (int i = 0; i < 4; ++i) {
+        out[n * 4 + static_cast<std::size_t>(i)] =
+            rt.heap(self_node()).allocate(1024);
+      }
+    });
+  }
+  rt.run();
+  std::set<SvmAddr> unique;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const SvmAddr a = rt.host_read(out, i);
+    ASSERT_NE(a, kNullSvmAddr);
+    unique.insert(a);
+  }
+  EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(CentralAllocatorTest, FreeMakesMemoryReusable) {
+  runtime::Runtime rt(alloc_config(2, false));
+  bool ok = false;
+  rt.spawn_on(1, [&rt, &ok] {
+    alloc::SharedHeap& heap = rt.heap(1);
+    std::vector<SvmAddr> addrs;
+    // The heap minus bootstrap allocations, consumed twice: only works
+    // if deallocate actually returns memory.
+    for (int round = 0; round < 2; ++round) {
+      for (int i = 0; i < 400; ++i) {
+        const SvmAddr a = heap.allocate(1024);
+        if (a == kNullSvmAddr) break;
+        addrs.push_back(a);
+      }
+      for (SvmAddr a : addrs) heap.deallocate(a);
+      addrs.clear();
+    }
+    ok = true;
+  });
+  rt.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(TwoLevelAllocatorTest, RefillsAmortizeRemoteCalls) {
+  runtime::Runtime rt(alloc_config(2, true));
+  rt.spawn_on(1, [&rt] {
+    alloc::SharedHeap& heap = rt.heap(1);
+    SvmAddr prev = kNullSvmAddr;
+    for (int i = 0; i < 20; ++i) {
+      const SvmAddr a = heap.allocate(512);
+      ASSERT_NE(a, kNullSvmAddr);
+      ASSERT_NE(a, prev);
+      prev = a;
+    }
+  });
+  rt.run();
+  // 20 allocations of 512 B (page-rounded to 1 KiB) from 16 KiB chunks:
+  // exactly 2 refills, not 20 remote calls.
+  EXPECT_EQ(rt.stats().total(Counter::kAllocRemoteCalls), 2u);
+  EXPECT_EQ(rt.stats().total(Counter::kAllocCalls), 20u + 2u);
+}
+
+TEST(TwoLevelAllocatorTest, OversizeBypassesTheCache) {
+  runtime::Runtime rt(alloc_config(2, true));
+  rt.spawn_on(1, [&rt] {
+    alloc::SharedHeap& heap = rt.heap(1);
+    const SvmAddr big = heap.allocate(64 * 1024);  // >> chunk/2
+    ASSERT_NE(big, kNullSvmAddr);
+    proc::svm_write<std::uint64_t>(big, 9);
+    heap.deallocate(big);
+  });
+  rt.run();
+  EXPECT_GE(rt.stats().total(Counter::kAllocRemoteCalls), 1u);
+}
+
+TEST(TwoLevelAllocatorTest, LocalFreeRecyclesWithinChunk) {
+  runtime::Runtime rt(alloc_config(2, true));
+  bool reused = false;
+  rt.spawn_on(1, [&rt, &reused] {
+    alloc::SharedHeap& heap = rt.heap(1);
+    const SvmAddr a = heap.allocate(1024);
+    heap.deallocate(a);
+    const SvmAddr b = heap.allocate(1024);
+    reused = a == b;
+    heap.deallocate(b);
+  });
+  rt.run();
+  EXPECT_TRUE(reused);
+}
+
+}  // namespace
+}  // namespace ivy::alloc

@@ -1,0 +1,109 @@
+// End-to-end runs of the six benchmark programs on small instances, each
+// verified against its sequential oracle, across node counts and
+// coherence managers (parameterized).
+#include <gtest/gtest.h>
+
+#include "ivy/apps/dotprod.h"
+#include "ivy/apps/jacobi.h"
+#include "ivy/apps/matmul.h"
+#include "ivy/apps/msort.h"
+#include "ivy/apps/pde3d.h"
+#include "ivy/apps/tsp.h"
+
+namespace ivy::apps {
+namespace {
+
+struct Setup {
+  NodeId nodes;
+  svm::ManagerKind manager;
+};
+
+std::string setup_name(const testing::TestParamInfo<Setup>& info) {
+  return std::to_string(info.param.nodes) + "nodes_" +
+         svm::to_string(info.param.manager);
+}
+
+class AppsOnManagers : public testing::TestWithParam<Setup> {
+ protected:
+  Config make_config() const {
+    Config cfg;
+    cfg.nodes = GetParam().nodes;
+    cfg.manager = GetParam().manager;
+    cfg.heap_pages = 4096;
+    cfg.stack_region_pages = 64;
+    return cfg;
+  }
+};
+
+TEST_P(AppsOnManagers, Jacobi) {
+  Runtime rt(make_config());
+  JacobiParams p;
+  p.n = 64;
+  p.iterations = 4;
+  const RunOutcome out = run_jacobi(rt, p);
+  EXPECT_TRUE(out.verified) << out.detail;
+  EXPECT_GT(out.elapsed, 0);
+  rt.check_coherence_invariants();
+}
+
+TEST_P(AppsOnManagers, Pde3d) {
+  Runtime rt(make_config());
+  Pde3dParams p;
+  p.m = 10;
+  p.iterations = 3;
+  const RunOutcome out = run_pde3d(rt, p);
+  EXPECT_TRUE(out.verified) << out.detail;
+  rt.check_coherence_invariants();
+}
+
+TEST_P(AppsOnManagers, Tsp) {
+  Runtime rt(make_config());
+  TspParams p;
+  p.cities = 8;
+  const RunOutcome out = run_tsp(rt, p);
+  EXPECT_TRUE(out.verified) << out.detail;
+  rt.check_coherence_invariants();
+}
+
+TEST_P(AppsOnManagers, Matmul) {
+  Runtime rt(make_config());
+  MatmulParams p;
+  p.n = 48;
+  const RunOutcome out = run_matmul(rt, p);
+  EXPECT_TRUE(out.verified) << out.detail;
+  rt.check_coherence_invariants();
+}
+
+TEST_P(AppsOnManagers, Dotprod) {
+  Runtime rt(make_config());
+  DotprodParams p;
+  p.n = 4096;
+  const RunOutcome out = run_dotprod(rt, p);
+  EXPECT_TRUE(out.verified) << out.detail;
+  rt.check_coherence_invariants();
+}
+
+TEST_P(AppsOnManagers, Msort) {
+  Runtime rt(make_config());
+  MsortParams p;
+  p.records = 2048;
+  const RunOutcome out = run_msort(rt, p);
+  EXPECT_TRUE(out.verified) << out.detail;
+  rt.check_coherence_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AppsOnManagers,
+    testing::Values(Setup{1, svm::ManagerKind::kDynamicDistributed},
+                    Setup{2, svm::ManagerKind::kDynamicDistributed},
+                    Setup{4, svm::ManagerKind::kDynamicDistributed},
+                    Setup{8, svm::ManagerKind::kDynamicDistributed},
+                    Setup{4, svm::ManagerKind::kCentralized},
+                    Setup{4, svm::ManagerKind::kFixedDistributed},
+                    Setup{4, svm::ManagerKind::kBroadcast},
+                    Setup{3, svm::ManagerKind::kCentralized},
+                    Setup{5, svm::ManagerKind::kFixedDistributed}),
+    setup_name);
+
+}  // namespace
+}  // namespace ivy::apps

@@ -1,0 +1,186 @@
+// Unit tests for the base substrate: deterministic RNG, node sets,
+// counters and epochs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ivy/base/rng.h"
+#include "ivy/base/stats.h"
+#include "ivy/base/types.h"
+
+namespace ivy {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversSmallRangeEventually) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  Rng parent2(9);
+  (void)parent2.fork();
+  // The fork consumed one draw; parent and parent2 stay in lock step.
+  EXPECT_EQ(parent(), parent2());
+  // Child stream differs from the parent's continuation.
+  Rng child2 = child;
+  EXPECT_EQ(child(), child2());
+}
+
+TEST(NodeSet, BasicOperations) {
+  NodeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  s.add(0);
+  s.add(5);
+  s.add(63);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_FALSE(s.contains(1));
+  s.remove(5);
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(s.count(), 2);
+  s.add(63);  // idempotent
+  EXPECT_EQ(s.count(), 2);
+}
+
+TEST(NodeSet, ForEachVisitsAscending) {
+  NodeSet s;
+  s.add(7);
+  s.add(1);
+  s.add(42);
+  std::vector<NodeId> seen;
+  s.for_each([&](NodeId n) { seen.push_back(n); });
+  EXPECT_EQ(seen, (std::vector<NodeId>{1, 7, 42}));
+}
+
+TEST(NodeSet, UnionAndClear) {
+  NodeSet a, b;
+  a.add(1);
+  b.add(2);
+  a |= b;
+  EXPECT_TRUE(a.contains(1));
+  EXPECT_TRUE(a.contains(2));
+  a.clear();
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Stats, PerNodeAndTotals) {
+  Stats stats(3);
+  stats.bump(0, Counter::kMessages);
+  stats.bump(1, Counter::kMessages, 4);
+  stats.bump(2, Counter::kReadFaults);
+  EXPECT_EQ(stats.node_total(0, Counter::kMessages), 1u);
+  EXPECT_EQ(stats.node_total(1, Counter::kMessages), 4u);
+  EXPECT_EQ(stats.total(Counter::kMessages), 5u);
+  EXPECT_EQ(stats.total(Counter::kReadFaults), 1u);
+  EXPECT_EQ(stats.total(Counter::kWriteFaults), 0u);
+}
+
+TEST(Stats, EpochsRecordDeltas) {
+  Stats stats(2);
+  stats.bump(0, Counter::kDiskReads, 10);
+  EXPECT_EQ(stats.mark_epoch(), 0u);
+  stats.bump(1, Counter::kDiskReads, 3);
+  stats.bump(0, Counter::kDiskWrites, 1);
+  EXPECT_EQ(stats.mark_epoch(), 1u);
+  stats.mark_epoch();  // empty epoch
+
+  ASSERT_EQ(stats.epoch_count(), 3u);
+  EXPECT_EQ(stats.epoch(0).get(Counter::kDiskReads), 10u);
+  EXPECT_EQ(stats.epoch(1).get(Counter::kDiskReads), 3u);
+  EXPECT_EQ(stats.epoch(1).get(Counter::kDiskWrites), 1u);
+  EXPECT_EQ(stats.epoch(2).get(Counter::kDiskReads), 0u);
+}
+
+TEST(Stats, SummaryListsNonZeroOnly) {
+  Stats stats(1);
+  stats.bump(0, Counter::kMigrations, 2);
+  const std::string s = stats.summary();
+  EXPECT_NE(s.find("migrations = 2"), std::string::npos);
+  EXPECT_EQ(s.find("read_faults"), std::string::npos);
+}
+
+TEST(CounterNames, RosterMatchesEnum) {
+  // Every counter has a distinct, non-empty name.
+  const auto& names = counter_names();
+  std::set<std::string> unique;
+  for (const char* name : names) {
+    ASSERT_NE(name, nullptr);
+    ASSERT_GT(std::string(name).size(), 0u);
+    unique.insert(name);
+  }
+  EXPECT_EQ(unique.size(), kCounterCount);
+}
+
+TEST(Types, TimeLiteralHelpers) {
+  EXPECT_EQ(us(1), 1000);
+  EXPECT_EQ(ms(1), 1'000'000);
+  EXPECT_EQ(sec(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(ms(1500)), 1.5);
+}
+
+TEST(Types, ProcIdEqualityAndHash) {
+  const ProcId a{1, 2, 3};
+  const ProcId b{1, 2, 3};
+  const ProcId c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(std::hash<ProcId>{}(a), std::hash<ProcId>{}(b));
+  EXPECT_NE(std::hash<ProcId>{}(a), std::hash<ProcId>{}(c));
+}
+
+}  // namespace
+}  // namespace ivy

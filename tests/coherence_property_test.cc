@@ -1,0 +1,200 @@
+// Property-based coherence tests.
+//
+// "the value returned by a read operation is always the same as the value
+// written by the most recent write operation to the same address."
+//
+// Strategy: single-writer-per-cell discipline makes the oracle exact —
+// each cell's writer publishes strictly increasing values, so every read
+// anywhere must observe a value that is (a) one the writer actually
+// wrote (or the initial zero) and (b) non-decreasing per reader, and the
+// final state must equal the writer's last value.  A randomized access
+// mix over many pages, parameterized across managers x node counts x
+// page sizes — and with message-drop injection exercising the
+// retransmission machinery end to end.
+#include <gtest/gtest.h>
+
+#include "ivy/ivy.h"
+
+namespace ivy {
+namespace {
+
+struct PropertySetup {
+  NodeId nodes;
+  svm::ManagerKind manager;
+  std::size_t page_size;
+  double drop_rate;
+  bool broadcast_invalidation;
+  bool distributed_copysets = false;
+};
+
+std::string setup_name(const testing::TestParamInfo<PropertySetup>& info) {
+  const auto& p = info.param;
+  std::string name = std::to_string(p.nodes) + "n_" +
+                     svm::to_string(p.manager) + "_" +
+                     std::to_string(p.page_size) + "b";
+  if (p.drop_rate > 0) name += "_drops";
+  if (p.broadcast_invalidation) name += "_bcastinv";
+  if (p.distributed_copysets) name += "_dcs";
+  return name;
+}
+
+class CoherenceProperty : public testing::TestWithParam<PropertySetup> {};
+
+TEST_P(CoherenceProperty, SingleWriterCellsStayCoherent) {
+  const PropertySetup& setup = GetParam();
+  Config cfg;
+  cfg.nodes = setup.nodes;
+  cfg.page_size = setup.page_size;
+  cfg.heap_pages = static_cast<PageId>((256u * 1024u) / setup.page_size);
+  cfg.stack_region_pages = 64;
+  cfg.manager = setup.manager;
+  cfg.broadcast_invalidation = setup.broadcast_invalidation;
+  cfg.distributed_copysets = setup.distributed_copysets;
+  Runtime rt(cfg);
+
+  if (setup.drop_rate > 0) {
+    // Lossy ring + aggressive client timeouts: the retransmission and
+    // duplicate-absorption machinery must preserve coherence.
+    auto rng = std::make_shared<Rng>(cfg.seed ^ 0xd40);
+    rt.ring().set_drop_hook([rng, rate = setup.drop_rate](
+                                const net::Message&) {
+      return rng->chance(rate);
+    });
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+      rt.rpc(n).set_request_timeout(ms(60));
+      rt.rpc(n).set_check_interval(ms(30));
+    }
+  }
+
+  const int procs = static_cast<int>(setup.nodes);
+  constexpr std::size_t kCells = 512;
+  constexpr int kSteps = 300;
+  auto cells = rt.alloc_array<std::uint64_t>(kCells);
+
+  // Host-side observation log, filled in by the processes as they run.
+  struct Violation {
+    std::string what;
+  };
+  std::vector<Violation> violations;
+  std::vector<std::uint64_t> last_written(kCells, 0);
+
+  for (int p = 0; p < procs; ++p) {
+    rt.spawn_on(static_cast<NodeId>(p), [&, p, cells]() mutable {
+      Rng rng(0xc0ffee + static_cast<std::uint64_t>(p));
+      // Reader-side monotonicity memory.
+      std::vector<std::uint64_t> floor(kCells, 0);
+      std::uint64_t next_value = 1;
+      for (int step = 0; step < kSteps; ++step) {
+        const auto cell = rng.below(kCells);
+        const bool mine =
+            cell % static_cast<std::uint64_t>(procs) ==
+            static_cast<std::uint64_t>(p);
+        if (mine && rng.chance(0.5)) {
+          // Strictly increasing values, tagged with the writer id.
+          const std::uint64_t value =
+              (next_value++ << 8) | static_cast<std::uint64_t>(p);
+          cells[cell] = value;
+          last_written[cell] = value;
+          floor[cell] = value;
+        } else {
+          const std::uint64_t got = cells[cell];
+          if (got != 0) {
+            const auto writer = got & 0xff;
+            if (writer != cell % static_cast<std::uint64_t>(procs)) {
+              violations.push_back({"cell " + std::to_string(cell) +
+                                    " carries foreign writer tag"});
+            }
+          }
+          if (got < floor[cell]) {
+            violations.push_back(
+                {"cell " + std::to_string(cell) + " went backwards: " +
+                 std::to_string(got) + " < " + std::to_string(floor[cell])});
+          }
+          floor[cell] = std::max(floor[cell], got);
+        }
+        charge(2);
+      }
+    });
+  }
+  rt.run();
+
+  for (const auto& v : violations) ADD_FAILURE() << v.what;
+  // Final state: exactly the last value each writer wrote.
+  for (std::size_t c = 0; c < kCells; ++c) {
+    ASSERT_EQ(rt.host_read(cells, c), last_written[c]) << "cell " << c;
+  }
+  rt.check_coherence_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoherenceProperty,
+    testing::Values(
+        PropertySetup{2, svm::ManagerKind::kDynamicDistributed, 1024, 0, false},
+        PropertySetup{4, svm::ManagerKind::kDynamicDistributed, 1024, 0, false},
+        PropertySetup{8, svm::ManagerKind::kDynamicDistributed, 1024, 0, false},
+        PropertySetup{8, svm::ManagerKind::kDynamicDistributed, 256, 0, false},
+        PropertySetup{8, svm::ManagerKind::kDynamicDistributed, 4096, 0, false},
+        PropertySetup{4, svm::ManagerKind::kCentralized, 1024, 0, false},
+        PropertySetup{8, svm::ManagerKind::kCentralized, 512, 0, false},
+        PropertySetup{4, svm::ManagerKind::kFixedDistributed, 1024, 0, false},
+        PropertySetup{8, svm::ManagerKind::kFixedDistributed, 2048, 0, false},
+        PropertySetup{4, svm::ManagerKind::kBroadcast, 1024, 0, false},
+        PropertySetup{4, svm::ManagerKind::kDynamicDistributed, 1024, 0, true},
+        PropertySetup{8, svm::ManagerKind::kCentralized, 1024, 0, true},
+        PropertySetup{2, svm::ManagerKind::kDynamicDistributed, 1024, 0.02,
+                      false},
+        PropertySetup{4, svm::ManagerKind::kDynamicDistributed, 1024, 0.02,
+                      false},
+        PropertySetup{4, svm::ManagerKind::kCentralized, 1024, 0.02, false},
+        PropertySetup{4, svm::ManagerKind::kFixedDistributed, 1024, 0.02,
+                      false},
+        PropertySetup{8, svm::ManagerKind::kDynamicDistributed, 1024, 0,
+                      false, true},
+        PropertySetup{4, svm::ManagerKind::kDynamicDistributed, 1024, 0.02,
+                      false, true}),
+    setup_name);
+
+// Mixed-size reads and writes crossing page boundaries keep torn data
+// out: a multi-page store is observed either not at all or in full once
+// the writer's fault sequence completed and a barrier ordered it.
+TEST(CoherenceSpans, CrossPageWritesAreNotTorn) {
+  Config cfg;
+  cfg.nodes = 3;
+  cfg.page_size = 256;
+  cfg.heap_pages = 512;
+  cfg.stack_region_pages = 64;
+  Runtime rt(cfg);
+
+  struct Fat {
+    std::uint64_t a, b, c, d;
+  };
+  // Place a Fat record straddling a page boundary.
+  const SvmAddr addr = 256 * 3 - 16;
+  auto bar = rt.create_barrier(3);
+
+  rt.spawn_on(0, [=]() mutable {
+    for (std::uint64_t round = 1; round <= 20; ++round) {
+      proc::svm_write<Fat>(addr, Fat{round, round, round, round});
+      bar.arrive(2 * static_cast<std::int64_t>(round) - 2);
+      bar.arrive(2 * static_cast<std::int64_t>(round) - 1);
+    }
+  });
+  for (NodeId n : {1u, 2u}) {
+    rt.spawn_on(n, [=]() mutable {
+      for (std::uint64_t round = 1; round <= 20; ++round) {
+        bar.arrive(2 * static_cast<std::int64_t>(round) - 2);
+        const Fat f = proc::svm_read<Fat>(addr);
+        EXPECT_EQ(f.a, round);
+        EXPECT_EQ(f.b, round);
+        EXPECT_EQ(f.c, round);
+        EXPECT_EQ(f.d, round);
+        bar.arrive(2 * static_cast<std::int64_t>(round) - 1);
+      }
+    });
+  }
+  rt.run();
+  rt.check_coherence_invariants();
+}
+
+}  // namespace
+}  // namespace ivy

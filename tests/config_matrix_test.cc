@@ -1,0 +1,91 @@
+// Cross-configuration matrix: the applications must stay correct under
+// every combination of machine knobs — page sizes, the two-level
+// allocator, broadcast invalidation, memory pressure with both
+// replacement policies, and system scheduling with load balancing.
+#include <gtest/gtest.h>
+
+#include "ivy/apps/jacobi.h"
+#include "ivy/apps/msort.h"
+
+namespace ivy::apps {
+namespace {
+
+struct Knobs {
+  std::size_t page_size = 1024;
+  bool two_level_alloc = false;
+  bool broadcast_invalidation = false;
+  std::size_t frames = 1 << 22;
+  mem::ReplacementPolicy replacement = mem::ReplacementPolicy::kSampledLru;
+  bool system_scheduling = false;
+  const char* label = "";
+};
+
+class ConfigMatrix : public testing::TestWithParam<Knobs> {
+ protected:
+  Config make_config() const {
+    const Knobs& k = GetParam();
+    Config cfg;
+    cfg.nodes = 4;
+    cfg.page_size = k.page_size;
+    cfg.heap_pages = static_cast<PageId>((4u << 20) / k.page_size);
+    cfg.stack_region_pages = 64;
+    cfg.two_level_alloc = k.two_level_alloc;
+    cfg.broadcast_invalidation = k.broadcast_invalidation;
+    cfg.frames_per_node = k.frames;
+    cfg.replacement = k.replacement;
+    if (k.system_scheduling) {
+      cfg.sched.load_balancing = true;
+      cfg.sched.lower_threshold = 1;
+      cfg.sched.upper_threshold = 2;
+      cfg.sched.lb_interval = ms(10);
+      cfg.stack_region_pages = 128;
+    }
+    return cfg;
+  }
+};
+
+TEST_P(ConfigMatrix, JacobiStaysCorrect) {
+  Runtime rt(make_config());
+  JacobiParams p;
+  p.n = 48;
+  p.iterations = 3;
+  p.system_scheduling = GetParam().system_scheduling;
+  const RunOutcome out = run_jacobi(rt, p);
+  EXPECT_TRUE(out.verified) << out.detail;
+  rt.check_coherence_invariants();
+}
+
+TEST_P(ConfigMatrix, MsortStaysCorrect) {
+  Runtime rt(make_config());
+  MsortParams p;
+  p.records = 1024;
+  const RunOutcome out = run_msort(rt, p);
+  EXPECT_TRUE(out.verified) << out.detail;
+  rt.check_coherence_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, ConfigMatrix,
+    testing::Values(
+        Knobs{.label = "baseline"},
+        Knobs{.page_size = 256, .label = "tiny_pages"},
+        Knobs{.page_size = 4096, .label = "huge_pages"},
+        Knobs{.two_level_alloc = true, .label = "two_level_alloc"},
+        Knobs{.broadcast_invalidation = true, .label = "bcast_inval"},
+        Knobs{.frames = 96,
+              .replacement = mem::ReplacementPolicy::kSampledLru,
+              .label = "paging_sampled"},
+        Knobs{.frames = 96,
+              .replacement = mem::ReplacementPolicy::kStrictLru,
+              .label = "paging_strict"},
+        Knobs{.system_scheduling = true, .label = "system_sched"},
+        Knobs{.page_size = 512,
+              .two_level_alloc = true,
+              .broadcast_invalidation = true,
+              .label = "combo"}),
+    [](const testing::TestParamInfo<Knobs>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace
+}  // namespace ivy::apps

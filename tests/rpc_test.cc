@@ -1,0 +1,258 @@
+// Unit tests for the remote operation module: request/reply, the three
+// broadcast reply schemes, forwarding chains, retransmission with
+// "resend replies only when necessary", and orphan-reply absorption.
+#include <gtest/gtest.h>
+
+#include "ivy/rpc/remote_op.h"
+
+namespace ivy::rpc {
+namespace {
+
+struct Payload {
+  int value = 0;
+};
+
+class RpcTest : public testing::Test {
+ protected:
+  static constexpr NodeId kNodes = 4;
+
+  RpcTest() : stats_(kNodes), ring_(sim_, stats_, kNodes) {
+    for (NodeId n = 0; n < kNodes; ++n) {
+      ops_.push_back(std::make_unique<RemoteOp>(sim_, ring_, stats_, n));
+    }
+  }
+
+  RemoteOp& op(NodeId n) { return *ops_[n]; }
+
+  sim::Simulator sim_;
+  Stats stats_;
+  net::Ring ring_;
+  std::vector<std::unique_ptr<RemoteOp>> ops_;
+};
+
+TEST_F(RpcTest, RequestReplyRoundtrip) {
+  int served = 0;
+  op(1).set_handler(net::MsgKind::kAllocRequest, [&](net::Message&& msg) {
+    ++served;
+    const auto p = std::any_cast<Payload>(msg.payload);
+    op(1).reply_to(msg, Payload{p.value * 2}, 8);
+  });
+  int got = -1;
+  op(0).request(1, net::MsgKind::kAllocRequest, Payload{21}, 8,
+                [&](net::Message&& reply) {
+                  got = std::any_cast<Payload>(reply.payload).value;
+                });
+  sim_.run_until_idle();
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(op(0).outstanding_requests(), 0u);
+}
+
+TEST_F(RpcTest, DeferredReplyViaPendingHandle) {
+  PendingReply pending;
+  op(2).set_handler(net::MsgKind::kAllocRequest, [&](net::Message&& msg) {
+    pending = RemoteOp::reply_later(msg);
+    // Answer 10 ms later from an unrelated event.
+    sim_.schedule_after(ms(10), [&] { op(2).reply(pending, Payload{7}, 8); });
+  });
+  int got = -1;
+  op(0).request(2, net::MsgKind::kAllocRequest, Payload{0}, 8,
+                [&](net::Message&& reply) {
+                  got = std::any_cast<Payload>(reply.payload).value;
+                });
+  sim_.run_until_idle();
+  EXPECT_EQ(got, 7);
+}
+
+TEST_F(RpcTest, ForwardingChainRepliesToOrigin) {
+  // 0 -> 1 -> 2 -> 3, node 3 serves; no intermediate replies.
+  op(1).set_handler(net::MsgKind::kReadFault,
+                    [&](net::Message&& msg) { op(1).forward(std::move(msg), 2); });
+  op(2).set_handler(net::MsgKind::kReadFault,
+                    [&](net::Message&& msg) { op(2).forward(std::move(msg), 3); });
+  int served_at_3 = 0;
+  op(3).set_handler(net::MsgKind::kReadFault, [&](net::Message&& msg) {
+    ++served_at_3;
+    EXPECT_EQ(msg.origin, 0u);
+    EXPECT_EQ(msg.src, 2u);  // immediate sender is the last forwarder
+    op(3).reply_to(msg, Payload{99}, 8);
+  });
+  int got = -1;
+  op(0).request(1, net::MsgKind::kReadFault, Payload{}, 8,
+                [&](net::Message&& reply) {
+                  got = std::any_cast<Payload>(reply.payload).value;
+                  EXPECT_EQ(reply.src, 3u);
+                });
+  sim_.run_until_idle();
+  EXPECT_EQ(served_at_3, 1);
+  EXPECT_EQ(got, 99);
+  EXPECT_EQ(stats_.total(Counter::kForwards), 2u);
+}
+
+TEST_F(RpcTest, BroadcastAnyTakesFirstReply) {
+  for (NodeId n = 1; n < kNodes; ++n) {
+    op(n).set_handler(net::MsgKind::kReadFault, [this, n](net::Message&& msg) {
+      if (n == 2) {
+        op(n).reply_to(msg, Payload{static_cast<int>(n)}, 8);
+      } else {
+        op(n).ignore(msg);
+      }
+    });
+  }
+  int got = -1;
+  int replies = 0;
+  op(0).broadcast(net::MsgKind::kReadFault, Payload{}, 8, BcastReply::kAny,
+                  [&](net::Message&& reply) {
+                    ++replies;
+                    got = std::any_cast<Payload>(reply.payload).value;
+                  });
+  sim_.run_until_idle();
+  EXPECT_EQ(replies, 1);
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(RpcTest, BroadcastAllCollectsEveryPeer) {
+  for (NodeId n = 1; n < kNodes; ++n) {
+    op(n).set_handler(net::MsgKind::kInvalidateBcast,
+                      [this, n](net::Message&& msg) {
+                        op(n).reply_to(msg, Payload{static_cast<int>(n)}, 8);
+                      });
+  }
+  std::set<int> values;
+  op(0).broadcast(net::MsgKind::kInvalidateBcast, Payload{}, 8,
+                  BcastReply::kAll, nullptr,
+                  [&](std::vector<net::Message>&& replies) {
+                    for (auto& r : replies) {
+                      values.insert(std::any_cast<Payload>(r.payload).value);
+                    }
+                  });
+  sim_.run_until_idle();
+  EXPECT_EQ(values, (std::set<int>{1, 2, 3}));
+}
+
+TEST_F(RpcTest, BroadcastNoneExpectsNothing) {
+  int heard = 0;
+  for (NodeId n = 1; n < kNodes; ++n) {
+    op(n).set_handler(net::MsgKind::kLoadHint, [&, n](net::Message&& msg) {
+      ++heard;
+      op(n).ignore(msg);
+    });
+  }
+  op(0).broadcast(net::MsgKind::kLoadHint, Payload{}, 8, BcastReply::kNone);
+  sim_.run_until_idle();
+  EXPECT_EQ(heard, 3);
+  EXPECT_EQ(op(0).outstanding_requests(), 0u);
+}
+
+TEST_F(RpcTest, RetransmitsThroughDroppedRequest) {
+  int drops = 1;
+  ring_.set_drop_hook([&](const net::Message& msg) {
+    return !msg.is_reply && drops-- > 0;  // lose the first request frame
+  });
+  op(0).set_request_timeout(ms(50));
+  op(0).set_check_interval(ms(50));
+  int served = 0;
+  op(1).set_handler(net::MsgKind::kAllocRequest, [&](net::Message&& msg) {
+    ++served;
+    op(1).reply_to(msg, Payload{5}, 8);
+  });
+  int got = -1;
+  op(0).request(1, net::MsgKind::kAllocRequest, Payload{}, 8,
+                [&](net::Message&& reply) {
+                  got = std::any_cast<Payload>(reply.payload).value;
+                });
+  sim_.run_until_idle();
+  EXPECT_EQ(got, 5);
+  EXPECT_EQ(served, 1);
+  EXPECT_GE(stats_.total(Counter::kRetransmissions), 1u);
+}
+
+TEST_F(RpcTest, DroppedReplyIsResentWithoutReexecution) {
+  int drops = 1;
+  ring_.set_drop_hook([&](const net::Message& msg) {
+    return msg.is_reply && drops-- > 0;  // lose the first reply frame
+  });
+  op(0).set_request_timeout(ms(50));
+  op(0).set_check_interval(ms(50));
+  int served = 0;
+  op(1).set_handler(net::MsgKind::kAllocRequest, [&](net::Message&& msg) {
+    ++served;
+    op(1).reply_to(msg, Payload{11}, 8);
+  });
+  int got = -1;
+  op(0).request(1, net::MsgKind::kAllocRequest, Payload{}, 8,
+                [&](net::Message&& reply) {
+                  got = std::any_cast<Payload>(reply.payload).value;
+                });
+  sim_.run_until_idle();
+  EXPECT_EQ(got, 11);
+  // "resend replies only when necessary": the handler ran once; the
+  // duplicate request was answered from the done-cache.
+  EXPECT_EQ(served, 1);
+}
+
+TEST_F(RpcTest, DuplicateWhileInProgressIsSwallowed) {
+  // Server defers; a duplicate (from retransmission) must not re-run the
+  // handler or produce a second reply.
+  op(0).set_request_timeout(ms(20));
+  op(0).set_check_interval(ms(20));
+  int served = 0;
+  PendingReply pending;
+  op(1).set_handler(net::MsgKind::kAllocRequest, [&](net::Message&& msg) {
+    ++served;
+    pending = RemoteOp::reply_later(msg);
+    sim_.schedule_after(ms(100), [&] { op(1).reply(pending, Payload{3}, 8); });
+  });
+  int replies = 0;
+  op(0).request(1, net::MsgKind::kAllocRequest, Payload{}, 8,
+                [&](net::Message&&) { ++replies; });
+  sim_.run_until_idle();
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(replies, 1);
+  EXPECT_GE(stats_.total(Counter::kRetransmissions), 1u);
+}
+
+TEST_F(RpcTest, LoadHintsPiggybackOnEveryMessage) {
+  op(0).set_load_hint_provider([] { return std::uint8_t{9}; });
+  std::uint8_t heard = 0;
+  op(1).set_load_hint_consumer(
+      [&](NodeId from, std::uint8_t hint) {
+        if (from == 0) heard = hint;
+      });
+  op(1).set_handler(net::MsgKind::kAllocRequest, [&](net::Message&& msg) {
+    op(1).reply_to(msg, Payload{}, 8);
+  });
+  op(0).request(1, net::MsgKind::kAllocRequest, Payload{}, 8,
+                [](net::Message&&) {});
+  sim_.run_until_idle();
+  EXPECT_EQ(heard, 9);
+}
+
+TEST_F(RpcTest, OrphanReplyHandlerSeesLateDuplicates) {
+  // Two servers race to answer the same broadcast; the loser's reply has
+  // no outstanding entry left and lands in the orphan handler.
+  for (NodeId n : {1u, 2u}) {
+    op(n).set_handler(net::MsgKind::kWriteFault, [this, n](net::Message&& msg) {
+      op(n).reply_to(msg, Payload{static_cast<int>(n)}, 8);
+    });
+  }
+  op(3).set_handler(net::MsgKind::kWriteFault,
+                    [this](net::Message&& msg) { op(3).ignore(msg); });
+  int first = -1;
+  int orphaned = -1;
+  op(0).set_orphan_reply_handler(
+      net::MsgKind::kWriteFault, [&](net::Message&& msg) {
+        orphaned = std::any_cast<Payload>(msg.payload).value;
+      });
+  op(0).broadcast(net::MsgKind::kWriteFault, Payload{}, 8, BcastReply::kAny,
+                  [&](net::Message&& reply) {
+                    first = std::any_cast<Payload>(reply.payload).value;
+                  });
+  sim_.run_until_idle();
+  EXPECT_NE(first, -1);
+  EXPECT_NE(orphaned, -1);
+  EXPECT_NE(first, orphaned);
+}
+
+}  // namespace
+}  // namespace ivy::rpc

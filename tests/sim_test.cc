@@ -1,0 +1,165 @@
+// Unit tests for the discrete-event engine and fibers.
+#include <gtest/gtest.h>
+
+#include "ivy/sim/cost_model.h"
+#include "ivy/sim/fiber.h"
+#include "ivy/sim/simulator.h"
+
+namespace ivy::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until_idle();
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) sim.schedule_after(7, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 4 * 7);
+}
+
+TEST(Simulator, RunWhileStopsAtPredicate) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(i, [&] { ++fired; });
+  }
+  sim.run_while([&] { return fired < 4; });
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.now(), 4);
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, StepReturnsFalseWhenIdle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(CostModel, TransmitTimeScalesWithBytes) {
+  CostModel costs;
+  const Time small = costs.transmit_time(100);
+  const Time large = costs.transmit_time(1100);
+  EXPECT_GT(small, 0);
+  // 1000 extra bytes at 1.5 MB/s is ~667 microseconds.
+  EXPECT_NEAR(static_cast<double>(large - small), 1000.0 / 1.5e6 * 1e9,
+              1e3);
+}
+
+TEST(Fiber, RunsToCompletion) {
+  int state = 0;
+  Fiber fiber([&] { state = 1; });
+  EXPECT_EQ(fiber.resume(), YieldReason::kFinished);
+  EXPECT_EQ(state, 1);
+  EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, YieldAndResumeRoundTrips) {
+  std::vector<int> trace;
+  Fiber fiber([&] {
+    trace.push_back(1);
+    Fiber::yield(YieldReason::kQuantum);
+    trace.push_back(2);
+    Fiber::yield(YieldReason::kBlocked);
+    trace.push_back(3);
+  });
+  EXPECT_EQ(fiber.resume(), YieldReason::kQuantum);
+  trace.push_back(-1);
+  EXPECT_EQ(fiber.resume(), YieldReason::kBlocked);
+  trace.push_back(-2);
+  EXPECT_EQ(fiber.resume(), YieldReason::kFinished);
+  EXPECT_EQ(trace, (std::vector<int>{1, -1, 2, -2, 3}));
+}
+
+TEST(Fiber, CurrentIsSetOnlyInsideFiber) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber* observed = nullptr;
+  Fiber fiber([&] { observed = Fiber::current(); });
+  fiber.resume();
+  EXPECT_EQ(observed, &fiber);
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, ChargeAccumulatesUntilTaken) {
+  Fiber fiber([] {
+    Fiber::current()->charge(100);
+    Fiber::current()->charge(50);
+    Fiber::yield(YieldReason::kQuantum);
+    Fiber::current()->charge(7);
+  });
+  fiber.resume();
+  EXPECT_EQ(fiber.take_charge(), 150);
+  EXPECT_EQ(fiber.take_charge(), 0);
+  fiber.resume();
+  EXPECT_EQ(fiber.take_charge(), 7);
+}
+
+TEST(Fiber, ManyFibersInterleave) {
+  constexpr int kFibers = 50;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  std::vector<int> progress(kFibers, 0);
+  for (int i = 0; i < kFibers; ++i) {
+    fibers.push_back(std::make_unique<Fiber>([&progress, i] {
+      for (int step = 0; step < 3; ++step) {
+        ++progress[static_cast<size_t>(i)];
+        Fiber::yield(YieldReason::kQuantum);
+      }
+    }));
+  }
+  bool any_live = true;
+  while (any_live) {
+    any_live = false;
+    for (auto& f : fibers) {
+      if (!f->finished()) {
+        f->resume();
+        any_live = any_live || !f->finished();
+      }
+    }
+  }
+  for (int p : progress) EXPECT_EQ(p, 3);
+}
+
+TEST(Fiber, DeepStackUsage) {
+  // Recursion exercising a good chunk of the 256 KiB default stack.
+  std::function<int(int)> rec = [&](int depth) -> int {
+    char pad[512];
+    pad[0] = static_cast<char>(depth);
+    if (depth == 0) return pad[0];
+    return rec(depth - 1) + (pad[0] != 0 ? 1 : 1);
+  };
+  int result = 0;
+  Fiber fiber([&] { result = rec(200); });
+  fiber.resume();
+  EXPECT_EQ(result, 200);
+}
+
+}  // namespace
+}  // namespace ivy::sim

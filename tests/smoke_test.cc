@@ -1,0 +1,144 @@
+// End-to-end smoke tests: the full stack (ring → rpc → svm → proc → sync
+// → alloc → runtime) on small scenarios.  Detailed per-module suites live
+// in the sibling files; this file is the canary.
+#include <gtest/gtest.h>
+
+#include "ivy/ivy.h"
+
+namespace ivy {
+namespace {
+
+Config small_config(NodeId nodes,
+                    svm::ManagerKind mgr = svm::ManagerKind::kDynamicDistributed) {
+  Config cfg;
+  cfg.nodes = nodes;
+  cfg.heap_pages = 256;
+  cfg.stack_region_pages = 64;
+  cfg.manager = mgr;
+  return cfg;
+}
+
+TEST(Smoke, SingleNodeRunsAProcess) {
+  Runtime rt(small_config(1));
+  auto flag = rt.alloc_scalar<int>();
+  rt.spawn([=] { flag.set(42); });
+  const Time elapsed = rt.run();
+  EXPECT_GT(elapsed, 0);
+  EXPECT_EQ(rt.host_read<int>(flag.address()), 42);
+}
+
+TEST(Smoke, TwoNodesShareAnArray) {
+  Runtime rt(small_config(2));
+  auto data = rt.alloc_array<int>(1000);
+  auto done = rt.create_barrier(2);
+
+  rt.spawn_on(0, [=]() mutable {
+    for (std::size_t i = 0; i < 500; ++i) data[i] = static_cast<int>(i);
+    done.arrive(0);
+  });
+  rt.spawn_on(1, [=]() mutable {
+    for (std::size_t i = 500; i < 1000; ++i) data[i] = static_cast<int>(i);
+    done.arrive(0);
+  });
+  rt.run();
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(rt.host_read(data, i), static_cast<int>(i)) << "index " << i;
+  }
+  rt.check_coherence_invariants();
+  EXPECT_GT(rt.stats().total(Counter::kWriteFaults), 0u);
+}
+
+TEST(Smoke, ReaderSeesWriterThroughBarrier) {
+  for (auto mgr : {svm::ManagerKind::kCentralized,
+                   svm::ManagerKind::kFixedDistributed,
+                   svm::ManagerKind::kDynamicDistributed,
+                   svm::ManagerKind::kBroadcast}) {
+    Runtime rt(small_config(3, mgr));
+    auto value = rt.alloc_scalar<double>();
+    auto sum = rt.alloc_scalar<double>();
+    auto bar = rt.create_barrier(3);
+
+    rt.spawn_on(0, [=]() mutable {
+      value.set(2.5);
+      bar.arrive(0);
+      bar.arrive(1);
+    });
+    auto reader = [=]() mutable {
+      bar.arrive(0);
+      const double v = value.get();
+      EXPECT_DOUBLE_EQ(v, 2.5);
+      bar.arrive(1);
+    };
+    rt.spawn_on(1, reader);
+    rt.spawn_on(2, reader);
+    rt.run();
+    rt.check_coherence_invariants();
+    (void)sum;
+  }
+}
+
+TEST(Smoke, PingPongWritesAreCoherent) {
+  Runtime rt(small_config(2));
+  auto counter = rt.alloc_scalar<int>();
+  auto bar = rt.create_barrier(2);
+  constexpr int kRounds = 20;
+
+  auto worker = [=](int parity) {
+    return [=]() mutable {
+      for (int r = 0; r < kRounds; ++r) {
+        if (r % 2 == parity) counter.set(counter.get() + 1);
+        bar.arrive(r);
+      }
+    };
+  };
+  rt.spawn_on(0, worker(0));
+  rt.spawn_on(1, worker(1));
+  rt.run();
+  EXPECT_EQ(rt.host_read<int>(counter.address()), kRounds);
+  rt.check_coherence_invariants();
+}
+
+TEST(Smoke, InProcessAllocation) {
+  Runtime rt(small_config(2));
+  auto out = rt.alloc_array<SvmAddr>(2);
+  auto bar = rt.create_barrier(2);
+  for (NodeId n = 0; n < 2; ++n) {
+    rt.spawn_on(n, [=, &rt]() mutable {
+      SvmAddr a = rt.heap(self_node()).allocate(4096);
+      ASSERT_NE(a, kNullSvmAddr);
+      out[n] = a;
+      bar.arrive(0);
+    });
+  }
+  rt.run();
+  const auto a0 = rt.host_read(out, 0);
+  const auto a1 = rt.host_read(out, 1);
+  EXPECT_NE(a0, a1);
+  EXPECT_NE(a0, kNullSvmAddr);
+  EXPECT_NE(a1, kNullSvmAddr);
+}
+
+TEST(Smoke, DeterministicEndTime) {
+  auto run_once = [] {
+    Runtime rt(small_config(4));
+    auto data = rt.alloc_array<int>(4096);
+    auto bar = rt.create_barrier(4);
+    for (NodeId n = 0; n < 4; ++n) {
+      rt.spawn_on(n, [=]() mutable {
+        for (std::size_t i = n; i < data.size(); i += 4) {
+          data[i] = static_cast<int>(i * 3);
+        }
+        bar.arrive(0);
+        long sum = 0;
+        for (std::size_t i = 0; i < data.size(); i += 7) sum += data[i];
+        (void)sum;
+      });
+    }
+    rt.run();
+    return rt.now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ivy

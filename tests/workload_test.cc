@@ -1,0 +1,156 @@
+// Unit tests for the benchmark-workload infrastructure: deterministic
+// generators, sequential oracles, partitioning, and the analytic
+// merge-split speedup bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ivy/apps/msort.h"
+#include "ivy/apps/workload.h"
+
+namespace ivy::apps {
+namespace {
+
+TEST(Generators, AreDeterministicPerSeed) {
+  EXPECT_EQ(gen_vector(100, 7), gen_vector(100, 7));
+  EXPECT_NE(gen_vector(100, 7), gen_vector(100, 8));
+  EXPECT_EQ(gen_dd_matrix(16, 3), gen_dd_matrix(16, 3));
+  EXPECT_EQ(gen_permutation(50, 1), gen_permutation(50, 1));
+  const auto r1 = gen_records(32, 5);
+  const auto r2 = gen_records(32, 5);
+  for (std::size_t i = 0; i < 32; ++i) ASSERT_TRUE(r1[i] == r2[i]);
+}
+
+TEST(Generators, DdMatrixIsStrictlyDiagonallyDominant) {
+  constexpr std::size_t n = 24;
+  const auto a = gen_dd_matrix(n, 9);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) off += std::abs(a[i * n + j]);
+    }
+    ASSERT_GT(std::abs(a[i * n + i]), off) << "row " << i;
+  }
+}
+
+TEST(Generators, TspWeightsAreSymmetricPositive) {
+  const int n = 9;
+  const auto w = gen_tsp_weights(n, 4);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double wij = w[static_cast<std::size_t>(i * n + j)];
+      ASSERT_DOUBLE_EQ(wij, w[static_cast<std::size_t>(j * n + i)]);
+      if (i != j) {
+        ASSERT_GE(wij, 1.0);
+      }
+    }
+  }
+}
+
+TEST(Generators, PermutationIsABijection) {
+  const auto p = gen_permutation(1000, 2);
+  std::vector<bool> seen(1000, false);
+  for (auto v : p) {
+    ASSERT_LT(v, 1000u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Oracles, JacobiConvergesOnDominantSystem) {
+  constexpr std::size_t n = 32;
+  const auto a = gen_dd_matrix(n, 11);
+  const auto b = gen_vector(n, 12);
+  const auto x = jacobi_oracle(a, b, n, 60);
+  // Residual ||Ax - b|| should be tiny after 60 sweeps.
+  double residual = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row += a[i * n + j] * x[j];
+    residual = std::max(residual, std::abs(row - b[i]));
+  }
+  EXPECT_LT(residual, 1e-8);
+}
+
+TEST(Oracles, Pde3dPreservesZeroRhs) {
+  const auto u = pde3d_oracle(std::vector<double>(5 * 5 * 5, 0.0), 5, 10);
+  for (double v : u) ASSERT_EQ(v, 0.0);
+}
+
+TEST(Oracles, Pde3dBoundedByRhsScale) {
+  // With |rhs| <= 1 and u_{k+1} = (sum of 6 neighbours + rhs)/6, the
+  // iterates stay bounded by k/… well below 6 after 10 sweeps.
+  const auto rhs = gen_vector(6 * 6 * 6, 3);
+  const auto u = pde3d_oracle(rhs, 6, 10);
+  for (double v : u) ASSERT_LT(std::abs(v), 6.0);
+}
+
+TEST(Oracles, TspMatchesBruteForceOnTinyInstance) {
+  // 5 cities: check the branch-and-bound oracle against full enumeration.
+  const int n = 5;
+  const auto w = gen_tsp_weights(n, 21);
+  std::vector<int> perm{1, 2, 3, 4};
+  double best = 1e18;
+  do {
+    double cost = w[static_cast<std::size_t>(perm[0])];
+    for (int i = 0; i + 1 < 4; ++i) {
+      cost += w[static_cast<std::size_t>(perm[i] * n + perm[i + 1])];
+    }
+    cost += w[static_cast<std::size_t>(perm[3] * n)];
+    best = std::min(best, cost);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_DOUBLE_EQ(tsp_oracle(w, n), best);
+}
+
+TEST(Partition, CoversRangeExactlyOnce) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    for (int parts : {1, 2, 3, 8}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (int k = 0; k < parts; ++k) {
+        const Range r = partition(n, parts, k);
+        ASSERT_EQ(r.begin, prev_end);
+        ASSERT_LE(r.begin, r.end);
+        covered += r.end - r.begin;
+        prev_end = r.end;
+      }
+      ASSERT_EQ(covered, n);
+      ASSERT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(Partition, BalancedWithinOne) {
+  for (int parts : {3, 7, 8}) {
+    std::size_t lo = SIZE_MAX, hi = 0;
+    for (int k = 0; k < parts; ++k) {
+      const Range r = partition(1000, parts, k);
+      lo = std::min(lo, r.end - r.begin);
+      hi = std::max(hi, r.end - r.begin);
+    }
+    EXPECT_LE(hi - lo, 1u);
+  }
+}
+
+TEST(SortRecords, OrderingIsTotalAndStableOnKeys) {
+  auto recs = gen_records(256, 3);
+  std::sort(recs.begin(), recs.end());
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    ASSERT_FALSE(recs[i] < recs[i - 1]);
+  }
+}
+
+TEST(MsortBound, MonotoneAndSubLinear) {
+  double prev = 1.0;
+  EXPECT_DOUBLE_EQ(msort_ideal_speedup(1 << 14, 1), 1.0);
+  for (int procs = 2; procs <= 8; ++procs) {
+    const double s = msort_ideal_speedup(1 << 14, procs);
+    EXPECT_GT(s, prev);           // more processors always help...
+    EXPECT_LT(s, procs);          // ...but never linearly (2N-1 rounds)
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace ivy::apps
