@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_alloc.cc" "bench/CMakeFiles/ablate_alloc.dir/ablate_alloc.cc.o" "gcc" "bench/CMakeFiles/ablate_alloc.dir/ablate_alloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ivy_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_alloc.dir/ablate_alloc.cc.o"
+  "CMakeFiles/ablate_alloc.dir/ablate_alloc.cc.o.d"
+  "ablate_alloc"
+  "ablate_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

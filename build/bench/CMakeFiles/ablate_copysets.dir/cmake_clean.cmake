@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_copysets.dir/ablate_copysets.cc.o"
+  "CMakeFiles/ablate_copysets.dir/ablate_copysets.cc.o.d"
+  "ablate_copysets"
+  "ablate_copysets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_copysets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_diskoverlap.dir/ablate_diskoverlap.cc.o"
+  "CMakeFiles/ablate_diskoverlap.dir/ablate_diskoverlap.cc.o.d"
+  "ablate_diskoverlap"
+  "ablate_diskoverlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_diskoverlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

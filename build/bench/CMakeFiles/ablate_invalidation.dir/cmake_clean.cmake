@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_invalidation.dir/ablate_invalidation.cc.o"
+  "CMakeFiles/ablate_invalidation.dir/ablate_invalidation.cc.o.d"
+  "ablate_invalidation"
+  "ablate_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_loadbalance.dir/ablate_loadbalance.cc.o"
+  "CMakeFiles/ablate_loadbalance.dir/ablate_loadbalance.cc.o.d"
+  "ablate_loadbalance"
+  "ablate_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

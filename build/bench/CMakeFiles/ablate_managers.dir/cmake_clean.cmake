@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_managers.dir/ablate_managers.cc.o"
+  "CMakeFiles/ablate_managers.dir/ablate_managers.cc.o.d"
+  "ablate_managers"
+  "ablate_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_pagesize.dir/ablate_pagesize.cc.o"
+  "CMakeFiles/ablate_pagesize.dir/ablate_pagesize.cc.o.d"
+  "ablate_pagesize"
+  "ablate_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_replacement.dir/ablate_replacement.cc.o"
+  "CMakeFiles/ablate_replacement.dir/ablate_replacement.cc.o.d"
+  "ablate_replacement"
+  "ablate_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

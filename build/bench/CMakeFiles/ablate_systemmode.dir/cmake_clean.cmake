@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_systemmode.dir/ablate_systemmode.cc.o"
+  "CMakeFiles/ablate_systemmode.dir/ablate_systemmode.cc.o.d"
+  "ablate_systemmode"
+  "ablate_systemmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_systemmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

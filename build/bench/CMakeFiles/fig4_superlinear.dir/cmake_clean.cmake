@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_superlinear.dir/fig4_superlinear.cc.o"
+  "CMakeFiles/fig4_superlinear.dir/fig4_superlinear.cc.o.d"
+  "fig4_superlinear"
+  "fig4_superlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_superlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

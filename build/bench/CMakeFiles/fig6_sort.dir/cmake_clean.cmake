@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sort.dir/fig6_sort.cc.o"
+  "CMakeFiles/fig6_sort.dir/fig6_sort.cc.o.d"
+  "fig6_sort"
+  "fig6_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_disk_transfers.dir/table1_disk_transfers.cc.o"
+  "CMakeFiles/table1_disk_transfers.dir/table1_disk_transfers.cc.o.d"
+  "table1_disk_transfers"
+  "table1_disk_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_disk_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsort.dir/parsort.cpp.o"
+  "CMakeFiles/parsort.dir/parsort.cpp.o.d"
+  "parsort"
+  "parsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

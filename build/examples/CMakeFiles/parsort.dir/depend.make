@@ -1,0 +1,2 @@
+# Empty dependencies file for parsort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_pool.dir/work_pool.cpp.o"
+  "CMakeFiles/work_pool.dir/work_pool.cpp.o.d"
+  "work_pool"
+  "work_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_alloc.dir/ivy/alloc/central_allocator.cc.o"
+  "CMakeFiles/ivy_alloc.dir/ivy/alloc/central_allocator.cc.o.d"
+  "CMakeFiles/ivy_alloc.dir/ivy/alloc/first_fit.cc.o"
+  "CMakeFiles/ivy_alloc.dir/ivy/alloc/first_fit.cc.o.d"
+  "CMakeFiles/ivy_alloc.dir/ivy/alloc/two_level_allocator.cc.o"
+  "CMakeFiles/ivy_alloc.dir/ivy/alloc/two_level_allocator.cc.o.d"
+  "libivy_alloc.a"
+  "libivy_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_apps.dir/ivy/apps/dotprod.cc.o"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/dotprod.cc.o.d"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/jacobi.cc.o"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/jacobi.cc.o.d"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/matmul.cc.o"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/matmul.cc.o.d"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/msort.cc.o"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/msort.cc.o.d"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/pde3d.cc.o"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/pde3d.cc.o.d"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/tsp.cc.o"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/tsp.cc.o.d"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/workload.cc.o"
+  "CMakeFiles/ivy_apps.dir/ivy/apps/workload.cc.o.d"
+  "libivy_apps.a"
+  "libivy_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

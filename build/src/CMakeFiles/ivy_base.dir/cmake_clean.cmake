@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_base.dir/ivy/base/log.cc.o"
+  "CMakeFiles/ivy_base.dir/ivy/base/log.cc.o.d"
+  "CMakeFiles/ivy_base.dir/ivy/base/stats.cc.o"
+  "CMakeFiles/ivy_base.dir/ivy/base/stats.cc.o.d"
+  "libivy_base.a"
+  "libivy_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_mem.dir/ivy/mem/frame_pool.cc.o"
+  "CMakeFiles/ivy_mem.dir/ivy/mem/frame_pool.cc.o.d"
+  "libivy_mem.a"
+  "libivy_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_net.dir/ivy/net/ring.cc.o"
+  "CMakeFiles/ivy_net.dir/ivy/net/ring.cc.o.d"
+  "libivy_net.a"
+  "libivy_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

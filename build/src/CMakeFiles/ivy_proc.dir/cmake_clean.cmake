@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_proc.dir/ivy/proc/load_balance.cc.o"
+  "CMakeFiles/ivy_proc.dir/ivy/proc/load_balance.cc.o.d"
+  "CMakeFiles/ivy_proc.dir/ivy/proc/migration.cc.o"
+  "CMakeFiles/ivy_proc.dir/ivy/proc/migration.cc.o.d"
+  "CMakeFiles/ivy_proc.dir/ivy/proc/scheduler.cc.o"
+  "CMakeFiles/ivy_proc.dir/ivy/proc/scheduler.cc.o.d"
+  "CMakeFiles/ivy_proc.dir/ivy/proc/svm_io.cc.o"
+  "CMakeFiles/ivy_proc.dir/ivy/proc/svm_io.cc.o.d"
+  "libivy_proc.a"
+  "libivy_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_rpc.dir/ivy/rpc/remote_op.cc.o"
+  "CMakeFiles/ivy_rpc.dir/ivy/rpc/remote_op.cc.o.d"
+  "libivy_rpc.a"
+  "libivy_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

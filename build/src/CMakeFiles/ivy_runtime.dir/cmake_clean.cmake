@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_runtime.dir/ivy/runtime/config.cc.o"
+  "CMakeFiles/ivy_runtime.dir/ivy/runtime/config.cc.o.d"
+  "CMakeFiles/ivy_runtime.dir/ivy/runtime/runtime.cc.o"
+  "CMakeFiles/ivy_runtime.dir/ivy/runtime/runtime.cc.o.d"
+  "libivy_runtime.a"
+  "libivy_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ivy/sim/fiber.cc" "src/CMakeFiles/ivy_sim.dir/ivy/sim/fiber.cc.o" "gcc" "src/CMakeFiles/ivy_sim.dir/ivy/sim/fiber.cc.o.d"
+  "/root/repo/src/ivy/sim/simulator.cc" "src/CMakeFiles/ivy_sim.dir/ivy/sim/simulator.cc.o" "gcc" "src/CMakeFiles/ivy_sim.dir/ivy/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ivy_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_sim.dir/ivy/sim/fiber.cc.o"
+  "CMakeFiles/ivy_sim.dir/ivy/sim/fiber.cc.o.d"
+  "CMakeFiles/ivy_sim.dir/ivy/sim/simulator.cc.o"
+  "CMakeFiles/ivy_sim.dir/ivy/sim/simulator.cc.o.d"
+  "libivy_sim.a"
+  "libivy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ivy/svm/manager.cc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/manager.cc.o" "gcc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/manager.cc.o.d"
+  "/root/repo/src/ivy/svm/manager_broadcast.cc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/manager_broadcast.cc.o" "gcc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/manager_broadcast.cc.o.d"
+  "/root/repo/src/ivy/svm/manager_centralized.cc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/manager_centralized.cc.o" "gcc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/manager_centralized.cc.o.d"
+  "/root/repo/src/ivy/svm/manager_dynamic.cc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/manager_dynamic.cc.o" "gcc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/manager_dynamic.cc.o.d"
+  "/root/repo/src/ivy/svm/manager_fixed.cc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/manager_fixed.cc.o" "gcc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/manager_fixed.cc.o.d"
+  "/root/repo/src/ivy/svm/svm.cc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/svm.cc.o" "gcc" "src/CMakeFiles/ivy_svm.dir/ivy/svm/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ivy_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivy_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

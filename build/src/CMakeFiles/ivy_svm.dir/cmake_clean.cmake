@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_svm.dir/ivy/svm/manager.cc.o"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/manager.cc.o.d"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/manager_broadcast.cc.o"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/manager_broadcast.cc.o.d"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/manager_centralized.cc.o"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/manager_centralized.cc.o.d"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/manager_dynamic.cc.o"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/manager_dynamic.cc.o.d"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/manager_fixed.cc.o"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/manager_fixed.cc.o.d"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/svm.cc.o"
+  "CMakeFiles/ivy_svm.dir/ivy/svm/svm.cc.o.d"
+  "libivy_svm.a"
+  "libivy_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libivy_svm.a"
+)

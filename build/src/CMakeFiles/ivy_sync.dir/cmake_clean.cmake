@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivy_sync.dir/ivy/sync/eventcount.cc.o"
+  "CMakeFiles/ivy_sync.dir/ivy/sync/eventcount.cc.o.d"
+  "CMakeFiles/ivy_sync.dir/ivy/sync/svm_lock.cc.o"
+  "CMakeFiles/ivy_sync.dir/ivy/sync/svm_lock.cc.o.d"
+  "libivy_sync.a"
+  "libivy_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

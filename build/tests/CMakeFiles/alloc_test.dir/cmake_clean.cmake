@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_test.dir/alloc_test.cc.o"
+  "CMakeFiles/alloc_test.dir/alloc_test.cc.o.d"
+  "alloc_test"
+  "alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

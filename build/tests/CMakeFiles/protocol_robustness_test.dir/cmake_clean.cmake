@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_robustness_test.dir/protocol_robustness_test.cc.o"
+  "CMakeFiles/protocol_robustness_test.dir/protocol_robustness_test.cc.o.d"
+  "protocol_robustness_test"
+  "protocol_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
