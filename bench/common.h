@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -25,6 +27,98 @@ inline Config base_config(NodeId nodes) {
   return cfg;
 }
 
+// --- command line ----------------------------------------------------------
+//
+// Every harness accepts the same observability flags:
+//   --trace-out PATH      Chrome trace_event JSON of the last run
+//   --metrics-out PATH    counters/histograms JSON (CSV if PATH ends .csv)
+//   --trace-capacity N    event ring capacity (default 262144)
+//   --hot-pages N         print the top-N hot-page table after each sweep
+// A bench executes many runs; each traced run overwrites the output
+// files, so the artifacts describe the LAST run (harnesses order their
+// sweeps so that is the most interesting one).
+
+struct CliOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  std::size_t trace_capacity = 1 << 18;
+  std::size_t hot_pages = 0;
+
+  [[nodiscard]] bool tracing() const {
+    return !trace_out.empty() || hot_pages > 0;
+  }
+  [[nodiscard]] bool any() const {
+    return tracing() || !metrics_out.empty();
+  }
+};
+
+inline CliOptions& cli() {
+  static CliOptions options;
+  return options;
+}
+
+/// Parses the shared flags; returns false (after printing usage) on an
+/// unknown flag or missing argument.
+inline bool parse_cli(int argc, char** argv) {
+  CliOptions& opt = cli();
+  bool ok = true;
+  for (int i = 1; i < argc && ok; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        ok = false;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--trace-out") == 0) {
+      if (const char* v = value()) opt.trace_out = v;
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      if (const char* v = value()) opt.metrics_out = v;
+    } else if (std::strcmp(arg, "--trace-capacity") == 0) {
+      if (const char* v = value()) {
+        opt.trace_capacity = std::strtoull(v, nullptr, 10);
+        ok = opt.trace_capacity > 0;
+      }
+    } else if (std::strcmp(arg, "--hot-pages") == 0) {
+      if (const char* v = value()) opt.hot_pages = std::strtoull(v, nullptr, 10);
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "usage: %s [--trace-out PATH] [--metrics-out PATH]\n"
+                 "          [--trace-capacity N] [--hot-pages N]\n",
+                 argv[0]);
+  }
+  return ok;
+}
+
+/// Arms tracing on a config when any observability output is requested.
+inline void apply_cli(Config& cfg) {
+  if (cli().tracing() || !cli().metrics_out.empty()) {
+    cfg.trace_enabled = true;
+    cfg.trace_capacity = cli().trace_capacity;
+  }
+}
+
+/// Writes the requested artifacts for one finished run (overwrites).
+inline void export_run(Runtime& rt, Time elapsed) {
+  if (!cli().trace_out.empty()) rt.write_trace(cli().trace_out);
+  if (!cli().metrics_out.empty()) rt.write_metrics(cli().metrics_out, elapsed);
+}
+
+/// Prints the hot-page table for a finished run when requested.
+inline void print_hot_pages(Runtime& rt) {
+  if (cli().hot_pages == 0 || !rt.tracer().enabled()) return;
+  const std::string report = trace::hot_page_report(rt.tracer(),
+                                                    cli().hot_pages);
+  if (report.empty()) return;
+  std::printf("  hot pages (top %zu, ping-pong suspects first):\n%s",
+              cli().hot_pages, report.c_str());
+}
+
 struct SweepPoint {
   NodeId nodes;
   Time elapsed;
@@ -41,13 +135,18 @@ inline std::vector<SweepPoint> speedup_sweep(
   std::printf("  %-10s %5s %12s %9s %6s\n", program, "nodes", "time[s]",
               "speedup", "ok");
   for (NodeId n : node_counts) {
-    auto rt = std::make_unique<Runtime>(make_config(n));
+    Config cfg = make_config(n);
+    cfg.name = std::string(program) + "/nodes=" + std::to_string(n);
+    apply_cli(cfg);
+    auto rt = std::make_unique<Runtime>(std::move(cfg));
     const apps::RunOutcome out = body(*rt);
     if (n == node_counts.front()) t1 = static_cast<double>(out.elapsed);
     const double speedup = t1 / static_cast<double>(out.elapsed);
     std::printf("  %-10s %5u %12.3f %9.2f %6s\n", program, n,
                 to_seconds(out.elapsed), speedup, out.verified ? "yes" : "NO");
     std::fflush(stdout);
+    export_run(*rt, out.elapsed);
+    if (n == node_counts.back()) print_hot_pages(*rt);
     points.push_back(SweepPoint{n, out.elapsed, out.verified});
   }
   return points;

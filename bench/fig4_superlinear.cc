@@ -32,12 +32,16 @@ void run() {
   for (NodeId n : {1, 2, 3, 4, 6, 8}) {
     Config cfg = base_config(n);
     cfg.frames_per_node = kFramesPerNode;
+    cfg.name = "fig4/nodes=" + std::to_string(n);
+    apply_cli(cfg);
     auto rt = std::make_unique<Runtime>(cfg);
     apps::Pde3dParams p;
     p.m = kGrid;
     p.iterations = 4;
     p.skip_verify = n > 2;  // oracle checked on the small counts
     const apps::RunOutcome out = run_pde3d(*rt, p);
+    export_run(*rt, out.elapsed);
+    if (n == 8) print_hot_pages(*rt);
     if (n == 1) t1 = static_cast<double>(out.elapsed);
     std::printf("  %5u %12.3f %9.2f %11llu %11llu %6s\n", n,
                 to_seconds(out.elapsed),
@@ -58,7 +62,8 @@ void run() {
 }  // namespace
 }  // namespace ivy::bench
 
-int main() {
+int main(int argc, char** argv) {
+  if (!ivy::bench::parse_cli(argc, argv)) return 2;
   ivy::bench::run();
   return 0;
 }

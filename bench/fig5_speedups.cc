@@ -53,6 +53,33 @@ void run() {
     return run_dotprod(rt, p);
   });
 
+  // When observability artifacts were requested, finish with a run that
+  // exercises the full event vocabulary — system scheduling plus passive
+  // load balancing adds process migrations to the faults, invalidations
+  // and ownership transfers of the plain sweeps.  Being last, it is the
+  // run the exported trace/metrics files describe.
+  if (cli().any()) {
+    speedup_sweep(
+        "jacobi-lb", {8},
+        [](NodeId n) {
+          Config cfg = base_config(n);
+          cfg.sched.load_balancing = true;
+          // All 16 workers start on node 0; its stack region must hold
+          // them all before the balancer spreads them.
+          cfg.stack_region_pages = 256;
+          return cfg;
+        },
+        [](Runtime& rt) {
+          apps::JacobiParams p;
+          p.n = 192;
+          p.iterations = 8;
+          p.processes = 16;  // node 0 overloads; idle nodes pull work
+          p.system_scheduling = true;
+          p.mark_epochs = true;
+          return run_jacobi(rt, p);
+        });
+  }
+
   std::printf(
       "\nExpected shape: jacobi/matmul/pde3d near-linear; tsp speeds up\n"
       "(search anomalies can push it above or below linear, as the paper\n"
@@ -62,7 +89,8 @@ void run() {
 }  // namespace
 }  // namespace ivy::bench
 
-int main() {
+int main(int argc, char** argv) {
+  if (!ivy::bench::parse_cli(argc, argv)) return 2;
   ivy::bench::run();
   return 0;
 }

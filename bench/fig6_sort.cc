@@ -21,10 +21,15 @@ void run() {
               "algorithm_bound", "ok");
   double t1 = 0.0;
   for (NodeId n : {1, 2, 3, 4, 6, 8}) {
-    auto rt = std::make_unique<Runtime>(base_config(n));
+    Config cfg = base_config(n);
+    cfg.name = "fig6/nodes=" + std::to_string(n);
+    apply_cli(cfg);
+    auto rt = std::make_unique<Runtime>(std::move(cfg));
     apps::MsortParams p;
     p.records = kRecords;
     const apps::RunOutcome out = run_msort(*rt, p);
+    export_run(*rt, out.elapsed);
+    if (n == 8) print_hot_pages(*rt);
     if (n == 1) t1 = static_cast<double>(out.elapsed);
     std::printf("  %5u %12.3f %9.2f %16.2f %6s\n", n,
                 to_seconds(out.elapsed),
@@ -43,7 +48,8 @@ void run() {
 }  // namespace
 }  // namespace ivy::bench
 
-int main() {
+int main(int argc, char** argv) {
+  if (!ivy::bench::parse_cli(argc, argv)) return 2;
   ivy::bench::run();
   return 0;
 }

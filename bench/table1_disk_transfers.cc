@@ -23,13 +23,17 @@ std::vector<std::uint64_t> disk_transfers_per_iteration(NodeId nodes,
                                                         int iterations) {
   Config cfg = base_config(nodes);
   cfg.frames_per_node = frames;
+  cfg.name = "table1/nodes=" + std::to_string(nodes);
+  apply_cli(cfg);
   auto rt = std::make_unique<Runtime>(cfg);
   apps::Pde3dParams p;
   p.m = grid;
   p.iterations = iterations;
   p.mark_epochs = true;
   p.skip_verify = true;
-  (void)run_pde3d(*rt, p);
+  const apps::RunOutcome out = run_pde3d(*rt, p);
+  export_run(*rt, out.elapsed);
+  print_hot_pages(*rt);
   std::vector<std::uint64_t> per_iter;
   for (std::size_t e = 0; e < rt->stats().epoch_count(); ++e) {
     const CounterBlock& blk = rt->stats().epoch(e);
@@ -71,7 +75,8 @@ void run() {
 }  // namespace
 }  // namespace ivy::bench
 
-int main() {
+int main(int argc, char** argv) {
+  if (!ivy::bench::parse_cli(argc, argv)) return 2;
   ivy::bench::run();
   return 0;
 }

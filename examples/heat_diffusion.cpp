@@ -8,20 +8,36 @@
 // the band boundaries travel between processors each sweep.
 //
 //   ./build/examples/heat_diffusion [nodes] [grid] [max_iters]
+//                                   [--trace-out t.json] [--metrics-out m.json]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "ivy/ivy.h"
 
 int main(int argc, char** argv) {
-  const ivy::NodeId nodes =
-      argc > 1 ? static_cast<ivy::NodeId>(std::atoi(argv[1])) : 4;
-  const std::size_t grid = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 64;
-  const int max_iters = argc > 3 ? std::atoi(argv[3]) : 40;
+  std::string trace_out, metrics_out;
+  int npos = 0;
+  std::size_t positional[3] = {4, 64, 40};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (npos < 3) {
+      positional[npos++] = static_cast<std::size_t>(std::atoi(argv[i]));
+    }
+  }
+  const ivy::NodeId nodes = static_cast<ivy::NodeId>(positional[0]);
+  const std::size_t grid = positional[1];
+  const int max_iters = static_cast<int>(positional[2]);
 
   ivy::Config cfg;
   cfg.nodes = nodes;
   cfg.heap_pages = 16384;
+  cfg.name = "heat_diffusion";
+  cfg.trace_enabled = !trace_out.empty() || !metrics_out.empty();
   ivy::Runtime rt(cfg);
 
   auto temp = rt.alloc_array<double>(grid * grid);
@@ -101,5 +117,12 @@ int main(int argc, char** argv) {
               static_cast<double>(
                   rt.stats().total(ivy::Counter::kBytesOnRing)) /
                   1e6);
+  if (!trace_out.empty() && rt.write_trace(trace_out)) {
+    std::printf("wrote %s (open in Perfetto / chrome://tracing)\n",
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty() && rt.write_metrics(metrics_out, elapsed)) {
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
   return 0;
 }

@@ -5,14 +5,26 @@
 // the result back.  Build and run:
 //
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--trace-out t.json] [--metrics-out m.json]
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "ivy/ivy.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out, metrics_out;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
+  }
+
   ivy::Config cfg;
   cfg.nodes = 4;  // processors on the simulated token ring
+  cfg.name = "quickstart";
+  // Observability: record every protocol event when an export was asked
+  // for; disabled tracing costs nothing.
+  cfg.trace_enabled = !trace_out.empty() || !metrics_out.empty();
 
   ivy::Runtime rt(cfg);
 
@@ -61,5 +73,12 @@ int main() {
                   rt.stats().total(ivy::Counter::kWriteFaults)),
               static_cast<unsigned long long>(
                   rt.stats().total(ivy::Counter::kPageTransfers)));
+  if (!trace_out.empty() && rt.write_trace(trace_out)) {
+    std::printf("wrote %s (open in Perfetto / chrome://tracing)\n",
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty() && rt.write_metrics(metrics_out, elapsed)) {
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
   return 0;
 }

@@ -35,6 +35,15 @@ const char* level_name(LogLevel lvl) {
   return "?????";
 }
 
+// One thread drives the whole simulation, but keep the context
+// thread-local anyway so concurrent Runtimes in tests don't interleave.
+struct Context {
+  NodeId node = kNoNode;
+  Time now = 0;
+  bool active = false;
+};
+thread_local Context g_context;
+
 }  // namespace
 
 LogLevel global_level() noexcept {
@@ -45,7 +54,24 @@ void set_global_level(LogLevel lvl) noexcept {
   level_storage().store(static_cast<int>(lvl), std::memory_order_relaxed);
 }
 
+void set_context(NodeId node, Time virtual_now) noexcept {
+  g_context.node = node;
+  g_context.now = virtual_now;
+  g_context.active = true;
+}
+
+void clear_context() noexcept { g_context.active = false; }
+
 void emit(LogLevel lvl, const std::string& text) {
+  if (g_context.active) {
+    // Virtual time in microseconds with ns precision, e.g. "n2 @12.345us".
+    std::fprintf(stderr, "[ivy %s n%u @%lld.%03llus] %s\n", level_name(lvl),
+                 static_cast<unsigned>(g_context.node),
+                 static_cast<long long>(g_context.now / 1000),
+                 static_cast<unsigned long long>(g_context.now % 1000),
+                 text.c_str());
+    return;
+  }
   std::fprintf(stderr, "[ivy %s] %s\n", level_name(lvl), text.c_str());
 }
 

@@ -20,6 +20,12 @@ LogLevel global_level() noexcept;
 void set_global_level(LogLevel lvl) noexcept;
 void emit(LogLevel lvl, const std::string& text);
 
+// Per-thread execution context, set by the scheduler around fiber
+// dispatch so every line logged from simulated code is prefixed with the
+// node it ran on and the virtual time it ran at.
+void set_context(NodeId node, Time virtual_now) noexcept;
+void clear_context() noexcept;
+
 class LineBuilder {
  public:
   explicit LineBuilder(LogLevel lvl) : lvl_(lvl) {}

@@ -36,6 +36,19 @@ const std::array<const char*, kCounterCount>& counter_names() {
   return kNames;
 }
 
+const std::array<const char*, kHistCount>& hist_names() {
+  static const std::array<const char*, kHistCount> kNames = {
+      "fault_resolution_ns",
+      "remote_op_round_trip_ns",
+      "invalidate_round_ns",
+      "lock_wait_ns",
+      "ec_wait_ns",
+      "migration_ns",
+      "disk_stall_ns",
+  };
+  return kNames;
+}
+
 std::size_t Stats::mark_epoch() {
   const CounterBlock now = aggregate();
   epochs_.push_back(now.minus(last_mark_));
@@ -50,6 +63,13 @@ std::string Stats::summary() const {
   for (std::size_t i = 0; i < kCounterCount; ++i) {
     const auto v = agg.get(static_cast<Counter>(i));
     if (v != 0) out << names[i] << " = " << v << '\n';
+  }
+  for (std::size_t i = 0; i < kHistCount; ++i) {
+    const Histogram h = hist(static_cast<Hist>(i));
+    if (h.count() == 0) continue;
+    out << hist_names()[i] << ": count=" << h.count() << " mean="
+        << static_cast<std::uint64_t>(h.mean()) << " min=" << h.min()
+        << " max=" << h.max() << '\n';
   }
   return out.str();
 }

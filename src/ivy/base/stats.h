@@ -18,6 +18,10 @@
 
 namespace ivy {
 
+namespace trace {
+class Tracer;
+}  // namespace trace
+
 /// Fixed roster of counters.  Extend freely; names() must match.
 enum class Counter : std::size_t {
   kReadFaults = 0,      ///< read page faults taken
@@ -55,6 +59,112 @@ inline constexpr std::size_t kCounterCount =
 /// Human-readable counter names, index-aligned with Counter.
 [[nodiscard]] const std::array<const char*, kCounterCount>& counter_names();
 
+/// Fixed roster of latency histograms.  Extend freely; hist_names() must
+/// match.
+enum class Hist : std::size_t {
+  kFaultResolution = 0,  ///< page-fault start -> access granted
+  kRemoteOpRoundTrip,    ///< rpc request sent -> (last) reply received
+  kInvalidateRound,      ///< invalidation round start -> all acks
+  kLockWait,             ///< contended SvmLock::lock -> acquisition
+  kEcWait,               ///< blocked eventcount Wait -> wakeup
+  kMigration,            ///< migrate-ask sent -> process installed
+  kDiskStall,            ///< disk transfer stall charged to a node
+  kCount                 // sentinel
+};
+
+inline constexpr std::size_t kHistCount = static_cast<std::size_t>(Hist::kCount);
+
+/// Human-readable histogram names, index-aligned with Hist.
+[[nodiscard]] const std::array<const char*, kHistCount>& hist_names();
+
+/// Log2-bucket latency histogram over virtual nanoseconds.
+///
+/// Bucket 0 holds exact zeros; bucket b >= 1 holds values in
+/// [2^(b-1), 2^b).  64 buckets cover the whole Time range, so recording
+/// never clamps and merging never loses tail samples.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(Time v) {
+    const std::uint64_t u = v > 0 ? static_cast<std::uint64_t>(v) : 0;
+    ++buckets_[bucket_of(u)];
+    ++count_;
+    sum_ += u;
+    if (count_ == 1 || u < min_) min_ = u;
+    if (u > max_) max_ = u;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) /
+                                   static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    IVY_CHECK_LT(i, kBuckets);
+    return buckets_[i];
+  }
+
+  /// Index of the bucket holding value `u`.  The top bucket is open-ended
+  /// so values >= 2^63 (unreachable from a positive Time) never index out
+  /// of range.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t u) noexcept {
+    if (u == 0) return 0;
+    const auto b = static_cast<std::size_t>(64 - __builtin_clzll(u));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Inclusive lower bound of bucket `i`.
+  [[nodiscard]] static std::uint64_t bucket_lo(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Exclusive upper bound of bucket `i` (bucket 0 = {0}; the last bucket
+  /// has no upper bound).
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t i) noexcept {
+    return i == 0 ? 1
+           : i >= kBuckets - 1 ? ~std::uint64_t{0}
+                               : std::uint64_t{1} << i;
+  }
+
+  Histogram& merge(const Histogram& o) {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    if (o.count_ != 0) {
+      if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+      if (o.max_ > max_) max_ = o.max_;
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+    return *this;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Per-node set of all latency histograms.
+struct HistBlock {
+  std::array<Histogram, kHistCount> hists;
+
+  [[nodiscard]] Histogram& of(Hist h) {
+    return hists[static_cast<std::size_t>(h)];
+  }
+  [[nodiscard]] const Histogram& of(Hist h) const {
+    return hists[static_cast<std::size_t>(h)];
+  }
+  HistBlock& merge(const HistBlock& o) {
+    for (std::size_t i = 0; i < kHistCount; ++i) hists[i].merge(o.hists[i]);
+    return *this;
+  }
+};
+
 /// Per-node counter block.
 class CounterBlock {
  public:
@@ -85,12 +195,39 @@ class CounterBlock {
 /// Registry of per-node counters with epoch snapshots.
 class Stats {
  public:
-  explicit Stats(NodeId nodes) : per_node_(nodes) {}
+  explicit Stats(NodeId nodes) : per_node_(nodes), per_node_hist_(nodes) {}
 
   void bump(NodeId node, Counter c, std::uint64_t by = 1) {
     IVY_CHECK_LT(node, per_node_.size());
     per_node_[node].bump(c, by);
   }
+
+  // --- latency histograms -------------------------------------------------
+
+  void record_latency(NodeId node, Hist h, Time v) {
+    IVY_CHECK_LT(node, per_node_hist_.size());
+    per_node_hist_[node].of(h).record(v);
+  }
+
+  [[nodiscard]] const Histogram& node_hist(NodeId node, Hist h) const {
+    IVY_CHECK_LT(node, per_node_hist_.size());
+    return per_node_hist_[node].of(h);
+  }
+
+  /// Merge of one histogram across all nodes.
+  [[nodiscard]] Histogram hist(Hist h) const {
+    Histogram sum;
+    for (const auto& blk : per_node_hist_) sum.merge(blk.of(h));
+    return sum;
+  }
+
+  // --- event tracer hook --------------------------------------------------
+
+  /// Tracer recording structured events for this machine, or nullptr when
+  /// tracing is disabled (IVY_EVT checks exactly this pointer — the whole
+  /// disabled-path cost).  Stats does not own the tracer.
+  [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   [[nodiscard]] std::uint64_t node_total(NodeId node, Counter c) const {
     return per_node_[node].get(c);
@@ -127,8 +264,10 @@ class Stats {
 
  private:
   std::vector<CounterBlock> per_node_;
+  std::vector<HistBlock> per_node_hist_;
   std::vector<CounterBlock> epochs_;
   CounterBlock last_mark_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ivy

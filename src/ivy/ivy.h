@@ -12,6 +12,9 @@
 #include "ivy/sync/barrier.h"
 #include "ivy/sync/eventcount.h"
 #include "ivy/sync/svm_lock.h"
+#include "ivy/trace/chrome_trace.h"
+#include "ivy/trace/hot_pages.h"
+#include "ivy/trace/metrics.h"
 
 namespace ivy {
 

@@ -4,6 +4,7 @@
 
 #include "ivy/base/check.h"
 #include "ivy/base/log.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::net {
 
@@ -59,6 +60,10 @@ void Ring::send(Message msg) {
   } else {
     stats_.bump(msg.src, Counter::kMessages);
   }
+  // The span covers the frame's time on the wire (queueing excluded).
+  IVY_EVT(stats_, record_span(msg.src, trace::EventKind::kMsgSend, start,
+                              duration, static_cast<std::uint64_t>(msg.kind),
+                              broadcast ? kMaxNodes : msg.dst));
 
   if (drop_hook_ && drop_hook_(msg)) {
     IVY_DEBUG() << "ring drop " << to_string(msg.kind) << " " << msg.src

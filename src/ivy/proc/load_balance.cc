@@ -9,6 +9,7 @@
 // message); this file decides when to ask whom.
 #include "ivy/base/log.h"
 #include "ivy/proc/scheduler.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::proc {
 
@@ -72,10 +73,18 @@ void Scheduler::null_tick() {
               << " for work (hint " << best << ")";
   rpc_.request(
       target, net::MsgKind::kMigrateAsk, MigrateAskPayload{slot.id},
-      MigrateAskPayload::kWireBytes, [this, &slot](net::Message&& reply) {
+      MigrateAskPayload::kWireBytes,
+      [this, &slot, asked = sim_.now()](net::Message&& reply) {
         migrate_ask_inflight_ = false;
         auto payload = std::any_cast<MigrateReplyPayload>(reply.payload);
         if (payload.accepted) {
+          // The migration latency is ask-to-install: PCB + stack pages
+          // crossing the ring dominate it.
+          const Time dur = sim_.now() - asked;
+          stats_.record_latency(node_, Hist::kMigration, dur);
+          IVY_EVT(stats_, record_span(node_, trace::EventKind::kMigrateIn,
+                                      asked, dur, slot.id.pcb_index,
+                                      reply.src));
           install_transfer(slot, std::move(*payload.transfer));
         } else {
           slot.state = ProcState::kFinished;  // reservation abandoned

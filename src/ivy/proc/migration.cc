@@ -11,6 +11,7 @@
 // this file implements the grant/refuse decision and reincarnation.
 #include "ivy/base/log.h"
 #include "ivy/proc/scheduler.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::proc {
 
@@ -70,6 +71,8 @@ void Scheduler::on_migrate_ask(net::Message&& msg) {
   victim.forward_to = ask.reserved;
   --proc_count_;
   stats_.bump(node_, Counter::kMigrations);
+  IVY_EVT(stats_, record(node_, trace::EventKind::kMigrateOut,
+                         victim.id.pcb_index, msg.origin));
   IVY_DEBUG() << "node " << node_ << " migrates proc " << victim.id.pcb_index
               << " to node " << msg.origin;
 

@@ -5,6 +5,7 @@
 
 #include "ivy/base/log.h"
 #include "ivy/proc/svm_io.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::proc {
 namespace {
@@ -77,6 +78,7 @@ ProcId Scheduler::spawn(std::function<void()> body, bool migratable) {
       config_.fiber_stack_bytes);
 
   stats_.bump(node_, Counter::kProcSpawns);
+  IVY_EVT(stats_, record(node_, trace::EventKind::kProcSpawn, pcb.id.pcb_index));
   ++proc_count_;
   ++live_.live;
   // Creation bookkeeping occupies this node's CPU briefly.
@@ -155,7 +157,9 @@ void Scheduler::dispatch() {
 
   g_current_sched = this;
   g_current_pcb = pcb;
+  log_internal::set_context(node_, sim_.now());
   const sim::YieldReason reason = pcb->fiber->resume();
+  log_internal::clear_context();
   g_current_sched = nullptr;
   g_current_pcb = nullptr;
 
@@ -194,6 +198,8 @@ void Scheduler::dispatch() {
 }
 
 void Scheduler::finish(Pcb& pcb) {
+  IVY_EVT(stats_,
+          record(node_, trace::EventKind::kProcFinish, pcb.id.pcb_index));
   pcb.state = ProcState::kFinished;
   pcb.fiber.reset();
   --proc_count_;

@@ -5,6 +5,7 @@
 
 #include "ivy/base/check.h"
 #include "ivy/base/log.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::rpc {
 
@@ -36,7 +37,8 @@ std::uint64_t RemoteOp::request(NodeId dst, net::MsgKind kind,
   out.original = msg;
   out.on_reply = std::move(on_reply);
   out.expected_replies = 1;
-  out.last_sent = sim_.now();
+  out.first_sent = sim_.now();
+  out.last_sent = out.first_sent;
   out.timeout = timeout;
   const std::uint64_t id = msg.rpc_id;
   outstanding_.emplace(id, std::move(out));
@@ -70,7 +72,8 @@ std::uint64_t RemoteOp::broadcast(net::MsgKind kind, std::any payload,
       out.original = msg;
       out.on_reply = std::move(on_first);
       out.expected_replies = 1;
-      out.last_sent = sim_.now();
+      out.first_sent = sim_.now();
+      out.last_sent = out.first_sent;
       out.timeout = timeout;
       outstanding_.emplace(id, std::move(out));
       break;
@@ -82,7 +85,8 @@ std::uint64_t RemoteOp::broadcast(net::MsgKind kind, std::any payload,
       out.original = msg;
       out.on_all = std::move(on_all);
       out.expected_replies = ring_.nodes() - 1;
-      out.last_sent = sim_.now();
+      out.first_sent = sim_.now();
+      out.last_sent = out.first_sent;
       outstanding_.emplace(id, std::move(out));
       break;
     }
@@ -175,6 +179,9 @@ void RemoteOp::handle_reply(net::Message&& msg) {
     return;
   }
   Outstanding& out = it->second;
+  const Time first_sent = out.first_sent;
+  const auto kind_arg =
+      static_cast<std::uint64_t>(out.original.kind);
   if (out.on_all) {
     // kAll broadcast: one reply per peer; duplicates from the same peer
     // (reply resends) must not double-count.
@@ -187,12 +194,24 @@ void RemoteOp::handle_reply(net::Message&& msg) {
     auto cb = std::move(out.on_all);
     auto replies = std::move(out.replies);
     outstanding_.erase(it);
+    record_round_trip(kind_arg, first_sent, kBroadcast);
     cb(std::move(replies));
     return;
   }
+  const NodeId server = msg.src;
   auto cb = std::move(out.on_reply);
   outstanding_.erase(it);
+  record_round_trip(kind_arg, first_sent, server);
   cb(std::move(msg));
+}
+
+void RemoteOp::record_round_trip(std::uint64_t kind_arg, Time first_sent,
+                                 NodeId server) {
+  const Time rtt = sim_.now() - first_sent;
+  stats_.record_latency(self_, Hist::kRemoteOpRoundTrip, rtt);
+  IVY_EVT(stats_,
+          record_span(self_, trace::EventKind::kRemoteOp, first_sent, rtt,
+                      kind_arg, server == kBroadcast ? kMaxNodes : server));
 }
 
 void RemoteOp::handle_request(net::Message&& msg) {
@@ -241,6 +260,11 @@ void RemoteOp::retransmit_scan() {
     IVY_DEBUG() << "node " << self_ << " retransmits rpc " << id << " ("
                 << net::to_string(out.original.kind) << ")";
     stats_.bump(self_, Counter::kRetransmissions);
+    IVY_EVT(stats_,
+            record(self_, trace::EventKind::kRetransmit,
+                   static_cast<std::uint64_t>(out.original.kind),
+                   out.original.dst == kBroadcast ? kMaxNodes
+                                                  : out.original.dst));
     out.last_sent = now;
     transmit(out.original);  // copy; payload shared_ptr bodies stay cheap
   }

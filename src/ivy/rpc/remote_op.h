@@ -144,6 +144,7 @@ class RemoteOp {
     AllRepliesCallback on_all;
     std::vector<net::Message> replies;  ///< kAll accumulation
     std::uint32_t expected_replies = 1;
+    Time first_sent = 0;  ///< for round-trip latency accounting
     Time last_sent = 0;
     Time timeout = 0;  ///< 0 = node default
   };
@@ -157,6 +158,8 @@ class RemoteOp {
   };
 
   void transmit(net::Message msg);
+  void record_round_trip(std::uint64_t kind_arg, Time first_sent,
+                         NodeId server);
   void handle_reply(net::Message&& msg);
   void handle_request(net::Message&& msg);
   void arm_retransmit_timer();

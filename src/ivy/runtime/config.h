@@ -49,6 +49,14 @@ struct Config {
   bool two_level_alloc = false;
   std::size_t chunk_bytes = 64 * 1024;
 
+  // --- observability ---------------------------------------------------------
+  /// Arm the structured event tracer at startup.  Off by default: when
+  /// disabled no event buffer is allocated and the record macro costs a
+  /// single null-pointer test.
+  bool trace_enabled = false;
+  /// Ring-buffer capacity in events (oldest overwritten when full).
+  std::size_t trace_capacity = 1 << 16;
+
   // --- timing ----------------------------------------------------------------
   sim::CostModel costs;
 

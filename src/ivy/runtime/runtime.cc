@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "ivy/base/log.h"
+#include "ivy/trace/chrome_trace.h"
+#include "ivy/trace/metrics.h"
 
 namespace ivy::runtime {
 namespace {
@@ -46,6 +48,7 @@ Runtime::Runtime(Config cfg)
       sim_(cfg_.costs),
       stats_((cfg_.validate(), cfg_.nodes)),
       ring_(sim_, stats_, cfg_.nodes) {
+  if (cfg_.trace_enabled) enable_tracing(cfg_.trace_capacity);
   nodes_.reserve(cfg_.nodes);
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeCtx>(*this, n));
@@ -125,6 +128,30 @@ Time Runtime::run() {
                                << " processes alive but no events pending");
   }
   return sim_.now() - start;
+}
+
+void Runtime::enable_tracing(std::size_t capacity) {
+  tracer_.enable(capacity);
+  tracer_.set_clock([this] { return sim_.now(); });
+  // Hanging the tracer off Stats gives every module a single-branch
+  // disabled fast path (IVY_EVT tests one pointer).
+  stats_.set_tracer(&tracer_);
+}
+
+bool Runtime::write_trace(const std::string& path) const {
+  if (!tracer_.enabled()) {
+    IVY_WARN() << "write_trace(" << path << ") with tracing disabled";
+    return false;
+  }
+  return trace::write_chrome_trace_file(path, tracer_, cfg_.name);
+}
+
+bool Runtime::write_metrics(const std::string& path, Time elapsed) const {
+  trace::MetricsInfo info;
+  info.name = cfg_.name;
+  info.elapsed = elapsed;
+  return trace::write_metrics_file(
+      path, stats_, tracer_.enabled() ? &tracer_ : nullptr, info);
 }
 
 alloc::SharedHeap& Runtime::heap(NodeId node) {

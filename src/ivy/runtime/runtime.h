@@ -24,6 +24,7 @@
 #include "ivy/runtime/config.h"
 #include "ivy/runtime/shared.h"
 #include "ivy/sync/barrier.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::runtime {
 
@@ -103,6 +104,22 @@ class Runtime {
   /// Closes a measurement epoch (e.g. one Jacobi iteration, Table 1).
   void mark_epoch() { stats_.mark_epoch(); }
 
+  // --- observability -------------------------------------------------------
+
+  /// The machine's event tracer.  Inert (no buffer) unless enabled via
+  /// cfg.trace_enabled or enable_tracing().
+  [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
+  /// Arms the tracer mid-flight (e.g. to trace only a later phase).
+  void enable_tracing(std::size_t capacity = 1 << 16);
+  /// Writes the retained events as Chrome trace_event JSON (load in
+  /// Perfetto / chrome://tracing).  Returns false and warns on I/O error
+  /// or when tracing was never enabled.
+  bool write_trace(const std::string& path) const;
+  /// Writes counters, epoch deltas, latency histograms (and, when tracing
+  /// is on, the hot-page ranking) as JSON — or CSV when `path` ends in
+  /// ".csv".  `elapsed` labels the run time in the JSON header.
+  bool write_metrics(const std::string& path, Time elapsed = 0) const;
+
   /// Runs all still-queued events to completion (straggler deliveries,
   /// retransmission scans).  run() stops the instant the last process
   /// finishes, so ownership handed off by a final duplicate serve can
@@ -141,6 +158,7 @@ class Runtime {
   Config cfg_;
   sim::Simulator sim_;
   Stats stats_;
+  trace::Tracer tracer_;
   net::Ring ring_;
   proc::LiveCounter live_;
   std::vector<std::unique_ptr<NodeCtx>> nodes_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ivy/base/log.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::svm {
 
@@ -123,6 +124,8 @@ void Manager::serve_read(net::Message&& msg, PageId page) {
   grant.write_grant = false;
   grant.body = svm_.snapshot(page);  // a read fault always wants the data
   svm_.stats().bump(svm_.self(), Counter::kPageTransfers);
+  IVY_EVT(svm_.stats(), record(svm_.self(), trace::EventKind::kPageSent, page,
+                               msg.origin));
   svm_.rpc().reply_to(msg, grant, grant.wire_bytes());
 }
 
@@ -143,6 +146,8 @@ void Manager::serve_write(net::Message&& msg, PageId page) {
   if (!requester_copy_valid) {
     grant.body = svm_.snapshot(page);
     svm_.stats().bump(svm_.self(), Counter::kPageTransfers);
+    IVY_EVT(svm_.stats(), record(svm_.self(), trace::EventKind::kPageSent,
+                                 page, msg.origin));
   }
   svm_.stats().bump(svm_.self(), Counter::kOwnershipTransfers);
 
@@ -193,6 +198,8 @@ void Manager::on_grant(net::Message&& reply) {
   svm_.send_grant_ack(reply.src, page, grant.version, /*accept=*/true);
   entry.owned = true;
   entry.version = grant.version;
+  IVY_EVT(svm_.stats(), record(svm_.self(), trace::EventKind::kOwnershipGained,
+                               page, reply.src));
   // Merge rather than overwrite: with distributed copysets this node may
   // itself have served readers, who must be invalidated with the rest.
   entry.copyset |= grant.copyset;

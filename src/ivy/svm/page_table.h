@@ -84,6 +84,8 @@ struct PageEntry {
   /// rpc id of the in-flight fault request, so a bounced request can be
   /// cancelled and re-issued along a fresher hint.
   std::uint64_t fault_rpc = 0;
+  /// Virtual time the outstanding fault began, for latency accounting.
+  Time fault_start = 0;
   /// Times the in-flight fault bounced back to its originator.  Mutually
   /// stale hints (two concurrent write faulters pointing at each other)
   /// can cycle forever; after a couple of bounces the fault falls back to

@@ -6,6 +6,7 @@
 
 #include "ivy/base/log.h"
 #include "ivy/svm/manager.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::svm {
 
@@ -81,6 +82,7 @@ void Svm::request_access(PageId page, Access want,
   }
   entry.fault_in_progress = true;
   entry.fault_level = want;
+  entry.fault_start = sim_.now();
   stats_.bump(self_, want == Access::kRead ? Counter::kReadFaults
                                            : Counter::kWriteFaults);
   if (entry.owned && entry.on_disk) {
@@ -144,6 +146,9 @@ void Svm::begin_disk_restore(PageId page) {
   IVY_CHECK(!entry.fault_in_progress);
   entry.fault_in_progress = true;
   entry.fault_level = Access::kNil;
+  entry.fault_start = sim_.now();
+  IVY_EVT(stats_, record(self_, trace::EventKind::kDiskFault, page));
+  stats_.record_latency(self_, Hist::kDiskStall, sim_.costs().disk_io);
   stall_node(sim_.costs().disk_io);
   sim_.schedule_after(sim_.costs().disk_io, [this, page] {
     PageEntry& e = table_.at(page);
@@ -153,6 +158,10 @@ void Svm::begin_disk_restore(PageId page) {
     disk_.discard(page);
     e.on_disk = false;
     e.access = e.copyset.empty() ? Access::kWrite : Access::kRead;
+    IVY_EVT(stats_,
+            record_span(self_, trace::EventKind::kDiskRead,
+                        sim_.now() - sim_.costs().disk_io,
+                        sim_.costs().disk_io, page));
     complete_fault(page);
   });
 }
@@ -178,9 +187,22 @@ void Svm::install_body(PageId page, const PageBody& body) {
 void Svm::complete_fault(PageId page) {
   PageEntry& entry = table_.at(page);
   IVY_CHECK(entry.fault_in_progress);
+  const Access level = entry.fault_level;
+  const Time started = entry.fault_start;
   entry.fault_in_progress = false;
   entry.fault_level = Access::kNil;
   entry.bounce_count = 0;
+  if (level != Access::kNil) {
+    // kNil marks protocol-internal holds (disk restore, outbound
+    // transfer), which account for themselves at their own sites.
+    const Time dur = sim_.now() - started;
+    stats_.record_latency(self_, Hist::kFaultResolution, dur);
+    IVY_EVT(stats_, record_span(self_,
+                                level == Access::kRead
+                                    ? trace::EventKind::kReadFault
+                                    : trace::EventKind::kWriteFault,
+                                started, dur, page));
+  }
 
   auto waiters = std::move(entry.local_waiters);
   entry.local_waiters.clear();
@@ -269,6 +291,17 @@ void Svm::invalidate_copies(PageId page, std::function<void()> done) {
     done();
     return;
   }
+  // Wrap the continuation so the full invalidation round (request out to
+  // last ack in) is timed, whichever reply scheme runs it.
+  done = [this, page, copies = copyset.count(), start = sim_.now(),
+          done = std::move(done)] {
+    const Time dur = sim_.now() - start;
+    stats_.record_latency(self_, Hist::kInvalidateRound, dur);
+    IVY_EVT(stats_, record_span(self_, trace::EventKind::kInvalidateSent,
+                                start, dur, page,
+                                static_cast<std::uint64_t>(copies)));
+    done();
+  };
   const InvalidatePayload payload{page, self_, entry.version};
 
   if (options_.broadcast_invalidation && nodes_ > 1) {
@@ -309,6 +342,8 @@ void Svm::on_invalidate(net::Message&& msg) {
     entry.version = payload.version;
     entry.prob_owner = payload.new_owner;
     pool_.release(payload.page);
+    IVY_EVT(stats_, record(self_, trace::EventKind::kInvalidateRecv,
+                           payload.page, payload.new_owner));
     if (options_.distributed_copysets && !entry.copyset.empty()) {
       // This copy served readers of its own (distributed copysets): the
       // invalidation recurses down the tree; acknowledge upward only
@@ -347,6 +382,8 @@ bool Svm::absorb_grant(const GrantPayload& grant, NodeId from) {
   if (grant.body != nullptr) install_body(grant.page, grant.body);
   entry.access = entry.copyset.empty() ? Access::kWrite : Access::kRead;
   stats_.bump(self_, Counter::kOwnershipTransfers);
+  IVY_EVT(stats_,
+          record(self_, trace::EventKind::kOwnershipGained, grant.page, from));
   if (entry.fault_in_progress) {
     // The adopted ownership satisfies our own outstanding fault: finish
     // it now, or our re-issued request would chase a chain ending here.
@@ -376,6 +413,7 @@ void Svm::begin_pending_transfer(PageId page, NodeId to,
   entry.access = Access::kNil;
   entry.fault_in_progress = true;
   entry.fault_level = Access::kNil;
+  entry.fault_start = sim_.now();
   pending_transfers_[page] = PendingTransfer{to, version};
 }
 
@@ -404,7 +442,12 @@ void Svm::on_grant_ack(net::Message&& msg) {
                     << " ackver=" << ack.version << " accept="
                     << ack.accept << " to=" << it->second.to);
   if (ack.accept) {
-    // Transfer landed: fully relinquish.
+    // Transfer landed: fully relinquish.  The span covers the window the
+    // token was in flight (grant sent to ack received).
+    IVY_EVT(stats_, record_span(self_, trace::EventKind::kOwnershipLost,
+                                entry.fault_start,
+                                sim_.now() - entry.fault_start, ack.page,
+                                it->second.to));
     entry.owned = false;
     entry.copyset.clear();
     entry.prob_owner = it->second.to;
@@ -439,6 +482,8 @@ bool Svm::resend_pending_grant(const net::Message& msg) {
   grant.copyset.remove(msg.origin);
   grant.body = snapshot(payload.page);
   stats_.bump(self_, Counter::kPageTransfers);
+  IVY_EVT(stats_, record(self_, trace::EventKind::kPageSent, payload.page,
+                         msg.origin));
   rpc_.reply_to(msg, grant, grant.wire_bytes());
   return true;
 }
@@ -484,6 +529,8 @@ void Svm::adopt_page(const PageTransfer& transfer) {
   if (transfer.body != nullptr) install_body(transfer.page, transfer.body);
   entry.access = entry.copyset.empty() ? Access::kWrite : Access::kRead;
   stats_.bump(self_, Counter::kOwnershipTransfers);
+  IVY_EVT(stats_, record(self_, trace::EventKind::kOwnershipGained,
+                         transfer.page, kMaxNodes));
 }
 
 mem::FramePool::EvictAction Svm::on_evict(PageId page,
@@ -496,9 +543,13 @@ mem::FramePool::EvictAction Svm::on_evict(PageId page,
     stall_node(sim_.costs().disk_io);
     entry.on_disk = true;
     entry.access = Access::kNil;
+    IVY_EVT(stats_,
+            record(self_, trace::EventKind::kDiskWrite, page));
+    IVY_EVT(stats_, record(self_, trace::EventKind::kEviction, page, 1));
     return mem::FramePool::EvictAction::kWriteToDisk;
   }
   entry.access = Access::kNil;
+  IVY_EVT(stats_, record(self_, trace::EventKind::kEviction, page, 0));
   return mem::FramePool::EvictAction::kDrop;
 }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "ivy/proc/svm_io.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::sync {
 namespace {
@@ -44,6 +45,10 @@ void Eventcount::advance() {
 
   const auto value = proc::svm_read<std::int64_t>(base_ + kValueOff) + 1;
   proc::svm_write<std::int64_t>(base_ + kValueOff, value);
+  IVY_EVT(sched->stats(),
+          record(sched->node(), trace::EventKind::kEcAdvance,
+                 sched->svm().geometry().page_of(base_),
+                 static_cast<std::uint64_t>(value)));
 
   // Wake every waiter whose target is reached; compact the array.
   auto nwaiters = proc::svm_read<std::uint32_t>(base_ + kNWaitersOff);
@@ -78,9 +83,26 @@ void Eventcount::wait(std::int64_t value) {
   proc::Scheduler* sched = proc::Scheduler::current_scheduler();
   const std::size_t cap =
       capacity(sched->svm().geometry().page_size, pages_);
+  Time wait_start = 0;
+  bool blocked = false;
   for (;;) {
     acquire();
-    if (proc::svm_read<std::int64_t>(base_ + kValueOff) >= value) return;
+    if (proc::svm_read<std::int64_t>(base_ + kValueOff) >= value) {
+      if (blocked) {
+        const Time dur = sched->simulator().now() - wait_start;
+        sched->stats().record_latency(sched->node(), Hist::kEcWait, dur);
+        IVY_EVT(sched->stats(),
+                record_span(sched->node(), trace::EventKind::kEcWait,
+                            wait_start, dur,
+                            sched->svm().geometry().page_of(base_),
+                            static_cast<std::uint64_t>(value)));
+      }
+      return;
+    }
+    if (!blocked) {
+      blocked = true;
+      wait_start = sched->simulator().now();
+    }
 
     const auto nwaiters = proc::svm_read<std::uint32_t>(base_ + kNWaitersOff);
     IVY_CHECK_MSG(nwaiters < cap,

@@ -1,6 +1,7 @@
 #include "ivy/sync/svm_lock.h"
 
 #include "ivy/proc/svm_io.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::sync {
 namespace {
@@ -33,8 +34,26 @@ bool SvmLock::try_lock() {
 void SvmLock::lock() {
   proc::Scheduler* sched = proc::Scheduler::current_scheduler();
   const std::size_t cap = capacity(sched->svm().geometry().page_size);
+  Time wait_start = 0;
+  bool contended = false;
   for (;;) {
-    if (try_lock()) return;
+    if (try_lock()) {
+      if (contended) {
+        // Contended path only: uncontended acquisitions would flood the
+        // histogram with zeros and hide the tail that matters.
+        const Time dur = sched->simulator().now() - wait_start;
+        sched->stats().record_latency(sched->node(), Hist::kLockWait, dur);
+        IVY_EVT(sched->stats(),
+                record_span(sched->node(), trace::EventKind::kLockWait,
+                            wait_start, dur,
+                            sched->svm().geometry().page_of(base_)));
+      }
+      return;
+    }
+    if (!contended) {
+      contended = true;
+      wait_start = sched->simulator().now();
+    }
     // Enqueue and sleep until an unlock wakes us; then contend again.
     const auto nwaiters = proc::svm_read<std::uint32_t>(base_ + kNWaitersOff);
     IVY_CHECK_MSG(nwaiters < cap, "lock waiter overflow (page too small)");

@@ -1,0 +1,99 @@
+#include "ivy/trace/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "ivy/base/log.h"
+
+namespace ivy::trace {
+namespace {
+
+/// Virtual nanoseconds -> the microsecond floats Chrome traces use.
+/// Three decimals keep full nanosecond precision.
+void put_us(std::ostream& out, Time ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  out << buf;
+}
+
+void put_metadata(std::ostream& out, const char* what, NodeId pid, int tid,
+                  const std::string& name, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << R"(    {"name":")" << what << R"(","ph":"M","pid":)" << pid;
+  if (tid >= 0) out << R"(,"tid":)" << tid;
+  out << R"(,"args":{"name":")" << name << R"("}})";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Tracer& tracer,
+                        const std::string& machine_name) {
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+
+  // Process/thread naming: one "process" per node, one "thread" per
+  // event category, discovered from the events actually present.
+  std::array<std::uint64_t, 64> node_cats{};  // bitmask of categories seen
+  tracer.for_each([&](const Event& e) {
+    if (e.node < node_cats.size()) {
+      node_cats[e.node] |=
+          std::uint64_t{1} << static_cast<int>(category_of(e.kind));
+    }
+  });
+  for (NodeId n = 0; n < node_cats.size(); ++n) {
+    if (node_cats[n] == 0) continue;
+    put_metadata(out, "process_name", n, -1,
+                 machine_name + " node " + std::to_string(n), first);
+    for (std::size_t c = 0; c < kCategoryCount; ++c) {
+      if ((node_cats[n] >> c & 1) == 0) continue;
+      put_metadata(out, "thread_name", n, static_cast<int>(c),
+                   to_string(static_cast<Category>(c)), first);
+    }
+  }
+
+  tracer.for_each([&](const Event& e) {
+    if (!first) out << ",\n";
+    first = false;
+    const int tid = static_cast<int>(category_of(e.kind));
+    out << R"(    {"name":")" << to_string(e.kind) << R"(","cat":")"
+        << to_string(category_of(e.kind)) << R"(","pid":)" << e.node
+        << R"(,"tid":)" << tid << R"(,"ts":)";
+    put_us(out, e.ts);
+    if (e.dur > 0) {
+      out << R"(,"ph":"X","dur":)";
+      put_us(out, e.dur);
+    } else {
+      out << R"(,"ph":"i","s":"t")";
+    }
+    out << R"(,"args":{)";
+    bool first_arg = true;
+    if (const char* a0 = arg0_name(e.kind); a0[0] != '\0') {
+      out << '"' << a0 << "\":" << e.arg0;
+      first_arg = false;
+    }
+    if (const char* a1 = arg1_name(e.kind); a1[0] != '\0') {
+      if (!first_arg) out << ',';
+      out << '"' << a1 << "\":" << e.arg1;
+    }
+    out << "}}";
+  });
+
+  out << "\n  ]\n}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer,
+                             const std::string& machine_name) {
+  std::ofstream out(path);
+  if (!out) {
+    IVY_WARN() << "cannot open trace output file " << path;
+    return false;
+  }
+  write_chrome_trace(out, tracer, machine_name);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ivy::trace

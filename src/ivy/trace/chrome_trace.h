@@ -1,0 +1,25 @@
+// Chrome trace_event-format exporter.
+//
+// Produces the JSON Object Format of the Trace Event specification:
+// nodes render as processes, event categories as threads, duration
+// events as "X" phases and instants as "i" phases.  The file loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ivy/trace/trace.h"
+
+namespace ivy::trace {
+
+/// Writes the retained events of `tracer` as Chrome trace JSON.
+/// `machine_name` labels the trace (shown as process-name suffix).
+void write_chrome_trace(std::ostream& out, const Tracer& tracer,
+                        const std::string& machine_name = "ivy");
+
+/// File convenience wrapper; returns false (and logs) on I/O failure.
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer,
+                             const std::string& machine_name = "ivy");
+
+}  // namespace ivy::trace

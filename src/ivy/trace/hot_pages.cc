@@ -1,0 +1,66 @@
+#include "ivy/trace/hot_pages.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace ivy::trace {
+
+std::vector<HotPage> hot_pages(const Tracer& tracer, std::size_t top_n) {
+  std::unordered_map<PageId, HotPage> by_page;
+  tracer.for_each([&](const Event& e) {
+    switch (e.kind) {
+      case EventKind::kReadFault:
+      case EventKind::kWriteFault: {
+        HotPage& h = by_page[static_cast<PageId>(e.arg0)];
+        ++h.faults;
+        if (e.node < kMaxNodes) h.faulting_nodes.add(e.node);
+        break;
+      }
+      case EventKind::kInvalidateRecv:
+        ++by_page[static_cast<PageId>(e.arg0)].invalidations;
+        break;
+      case EventKind::kOwnershipGained:
+        ++by_page[static_cast<PageId>(e.arg0)].transfers;
+        break;
+      default:
+        break;
+    }
+  });
+
+  std::vector<HotPage> ranked;
+  ranked.reserve(by_page.size());
+  for (auto& [page, h] : by_page) {
+    h.page = page;
+    ranked.push_back(h);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const HotPage& a, const HotPage& b) {
+              if (a.faults != b.faults) return a.faults > b.faults;
+              if (a.invalidations != b.invalidations) {
+                return a.invalidations > b.invalidations;
+              }
+              return a.page < b.page;
+            });
+  if (ranked.size() > top_n) ranked.resize(top_n);
+  return ranked;
+}
+
+std::string hot_page_report(const Tracer& tracer, std::size_t top_n) {
+  const std::vector<HotPage> ranked = hot_pages(tracer, top_n);
+  if (ranked.empty()) return {};
+  std::string out =
+      "  page        faults  invalidations  ownership_moves  nodes\n";
+  char line[128];
+  for (const HotPage& h : ranked) {
+    std::snprintf(line, sizeof(line), "  %-10u %7llu %14llu %16llu %6d\n",
+                  h.page, static_cast<unsigned long long>(h.faults),
+                  static_cast<unsigned long long>(h.invalidations),
+                  static_cast<unsigned long long>(h.transfers),
+                  h.faulting_nodes.count());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ivy::trace

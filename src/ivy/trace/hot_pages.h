@@ -1,0 +1,33 @@
+// Hot-page report — the ping-pong detector.
+//
+// Aggregates the trace's per-page events into a top-N ranking by fault
+// count: a page that many nodes repeatedly fault on and invalidate is
+// bouncing ("ping-ponging") between writers, the classic false-sharing /
+// contended-page pathology the paper's dot-product benchmark exhibits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ivy/trace/trace.h"
+
+namespace ivy::trace {
+
+struct HotPage {
+  PageId page = kNoPage;
+  std::uint64_t faults = 0;          ///< read + write fault resolutions
+  std::uint64_t invalidations = 0;   ///< copies dropped on this page
+  std::uint64_t transfers = 0;       ///< ownership moves
+  NodeSet faulting_nodes;            ///< distinct nodes that faulted on it
+};
+
+/// Top-`top_n` pages by fault count (ties: more invalidations first,
+/// then lower page id), computed from the retained trace window.
+[[nodiscard]] std::vector<HotPage> hot_pages(const Tracer& tracer,
+                                             std::size_t top_n = 10);
+
+/// Human-readable table of the same (empty string when no page events).
+[[nodiscard]] std::string hot_page_report(const Tracer& tracer,
+                                          std::size_t top_n = 10);
+
+}  // namespace ivy::trace

@@ -1,0 +1,152 @@
+#include "ivy/trace/metrics.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "ivy/base/log.h"
+#include "ivy/trace/hot_pages.h"
+
+namespace ivy::trace {
+namespace {
+
+void put_counters(std::ostream& out, const CounterBlock& blk,
+                  const char* indent) {
+  const auto& names = counter_names();
+  out << "{";
+  bool first = true;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << indent << "  \"" << names[i]
+        << "\": " << blk.get(static_cast<Counter>(i));
+  }
+  out << "\n" << indent << "}";
+}
+
+void put_histogram(std::ostream& out, const Histogram& h,
+                   const char* indent) {
+  out << "{\n"
+      << indent << "  \"count\": " << h.count() << ",\n"
+      << indent << "  \"sum\": " << h.sum() << ",\n"
+      << indent << "  \"min\": " << h.min() << ",\n"
+      << indent << "  \"max\": " << h.max() << ",\n"
+      << indent << "  \"mean\": " << static_cast<std::uint64_t>(h.mean())
+      << ",\n"
+      << indent << "  \"buckets\": [";
+  bool first = true;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.bucket(b) == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << indent << "    {\"lo\": " << Histogram::bucket_lo(b)
+        << ", \"hi\": " << Histogram::bucket_hi(b)
+        << ", \"count\": " << h.bucket(b) << "}";
+  }
+  out << (first ? "]" : ("\n" + std::string(indent) + "  ]")) << "\n"
+      << indent << "}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const Stats& stats,
+                        const Tracer* tracer, const MetricsInfo& info) {
+  out << "{\n"
+      << "  \"name\": \"" << info.name << "\",\n"
+      << "  \"nodes\": " << stats.nodes() << ",\n"
+      << "  \"elapsed_ns\": " << info.elapsed << ",\n";
+
+  out << "  \"counters_total\": ";
+  put_counters(out, stats.aggregate(), "  ");
+  out << ",\n  \"counters_per_node\": [";
+  for (NodeId n = 0; n < stats.nodes(); ++n) {
+    if (n != 0) out << ",";
+    out << "\n    ";
+    CounterBlock blk;
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      blk.bump(static_cast<Counter>(i),
+               stats.node_total(n, static_cast<Counter>(i)));
+    }
+    put_counters(out, blk, "    ");
+  }
+  out << "\n  ],\n";
+
+  // Epoch deltas: only non-zero entries, to keep long runs readable.
+  out << "  \"epochs\": [";
+  const auto& names = counter_names();
+  for (std::size_t e = 0; e < stats.epoch_count(); ++e) {
+    if (e != 0) out << ",";
+    out << "\n    {";
+    const CounterBlock& blk = stats.epoch(e);
+    bool first = true;
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      const auto v = blk.get(static_cast<Counter>(i));
+      if (v == 0) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << names[i] << "\": " << v;
+    }
+    out << "}";
+  }
+  out << "\n  ],\n";
+
+  out << "  \"histograms\": {";
+  bool first_hist = true;
+  for (std::size_t i = 0; i < kHistCount; ++i) {
+    const Histogram h = stats.hist(static_cast<Hist>(i));
+    if (!first_hist) out << ",";
+    first_hist = false;
+    out << "\n    \"" << hist_names()[i] << "\": ";
+    put_histogram(out, h, "    ");
+  }
+  out << "\n  }";
+
+  if (tracer != nullptr && tracer->enabled()) {
+    out << ",\n  \"trace\": {\"recorded\": " << tracer->recorded()
+        << ", \"retained\": " << tracer->size()
+        << ", \"dropped\": " << tracer->dropped() << "},\n";
+    out << "  \"hot_pages\": [";
+    const auto ranked = hot_pages(*tracer, 10);
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      if (i != 0) out << ",";
+      const HotPage& h = ranked[i];
+      out << "\n    {\"page\": " << h.page << ", \"faults\": " << h.faults
+          << ", \"invalidations\": " << h.invalidations
+          << ", \"ownership_moves\": " << h.transfers
+          << ", \"nodes\": " << h.faulting_nodes.count() << "}";
+    }
+    out << "\n  ]";
+  }
+  out << "\n}\n";
+}
+
+void write_metrics_csv(std::ostream& out, const Stats& stats) {
+  out << "counter,total";
+  for (NodeId n = 0; n < stats.nodes(); ++n) out << ",node" << n;
+  out << "\n";
+  const auto& names = counter_names();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    out << names[i] << "," << stats.total(c);
+    for (NodeId n = 0; n < stats.nodes(); ++n) {
+      out << "," << stats.node_total(n, c);
+    }
+    out << "\n";
+  }
+}
+
+bool write_metrics_file(const std::string& path, const Stats& stats,
+                        const Tracer* tracer, const MetricsInfo& info) {
+  std::ofstream out(path);
+  if (!out) {
+    IVY_WARN() << "cannot open metrics output file " << path;
+    return false;
+  }
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    write_metrics_csv(out, stats);
+  } else {
+    write_metrics_json(out, stats, tracer, info);
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace ivy::trace

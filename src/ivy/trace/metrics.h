@@ -1,0 +1,38 @@
+// Machine-readable metrics export: counters, epoch deltas and latency
+// histograms as JSON (or CSV), plus the hot-page ranking when a trace is
+// available.  This is the artifact the bench harnesses write next to
+// their stdout tables so runs can be diffed and plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ivy/base/stats.h"
+#include "ivy/trace/trace.h"
+
+namespace ivy::trace {
+
+struct MetricsInfo {
+  std::string name = "ivy";  ///< configuration / run label
+  Time elapsed = 0;          ///< virtual run time, 0 = unknown
+};
+
+/// Full metrics dump: per-node + total counters, per-epoch deltas,
+/// aggregated latency histograms (non-empty ones, all of them with their
+/// log2 bucket boundaries), and — when `tracer` is non-null and enabled —
+/// trace meta plus the hot-page top list.
+void write_metrics_json(std::ostream& out, const Stats& stats,
+                        const Tracer* tracer = nullptr,
+                        const MetricsInfo& info = {});
+
+/// Flat CSV of the counters: one row per counter, one column per node
+/// plus a total column.
+void write_metrics_csv(std::ostream& out, const Stats& stats);
+
+/// File convenience wrapper; writes CSV when `path` ends in ".csv", JSON
+/// otherwise.  Returns false (and logs) on I/O failure.
+bool write_metrics_file(const std::string& path, const Stats& stats,
+                        const Tracer* tracer = nullptr,
+                        const MetricsInfo& info = {});
+
+}  // namespace ivy::trace

@@ -1,0 +1,118 @@
+#include "ivy/trace/trace.h"
+
+namespace ivy::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kReadFault: return "read_fault";
+    case EventKind::kWriteFault: return "write_fault";
+    case EventKind::kDiskFault: return "disk_fault";
+    case EventKind::kInvalidateSent: return "invalidate_round";
+    case EventKind::kInvalidateRecv: return "invalidated";
+    case EventKind::kOwnershipGained: return "ownership_gained";
+    case EventKind::kOwnershipLost: return "ownership_transfer";
+    case EventKind::kPageSent: return "page_sent";
+    case EventKind::kMsgSend: return "msg_send";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kRemoteOp: return "remote_op";
+    case EventKind::kDiskRead: return "disk_read";
+    case EventKind::kDiskWrite: return "disk_write";
+    case EventKind::kEviction: return "eviction";
+    case EventKind::kProcSpawn: return "proc_spawn";
+    case EventKind::kProcFinish: return "proc_finish";
+    case EventKind::kMigrateOut: return "migrate_out";
+    case EventKind::kMigrateIn: return "migrate_in";
+    case EventKind::kLockWait: return "lock_wait";
+    case EventKind::kEcWait: return "ec_wait";
+    case EventKind::kEcAdvance: return "ec_advance";
+    case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(Category cat) {
+  switch (cat) {
+    case Category::kFault: return "fault";
+    case Category::kCoherence: return "coherence";
+    case Category::kNet: return "net";
+    case Category::kDisk: return "disk";
+    case Category::kSched: return "sched";
+    case Category::kSync: return "sync";
+    case Category::kCount: break;
+  }
+  return "?";
+}
+
+Category category_of(EventKind kind) {
+  switch (kind) {
+    case EventKind::kReadFault:
+    case EventKind::kWriteFault:
+    case EventKind::kDiskFault:
+      return Category::kFault;
+    case EventKind::kInvalidateSent:
+    case EventKind::kInvalidateRecv:
+    case EventKind::kOwnershipGained:
+    case EventKind::kOwnershipLost:
+    case EventKind::kPageSent:
+      return Category::kCoherence;
+    case EventKind::kMsgSend:
+    case EventKind::kRetransmit:
+    case EventKind::kRemoteOp:
+      return Category::kNet;
+    case EventKind::kDiskRead:
+    case EventKind::kDiskWrite:
+    case EventKind::kEviction:
+      return Category::kDisk;
+    case EventKind::kProcSpawn:
+    case EventKind::kProcFinish:
+    case EventKind::kMigrateOut:
+    case EventKind::kMigrateIn:
+      return Category::kSched;
+    case EventKind::kLockWait:
+    case EventKind::kEcWait:
+    case EventKind::kEcAdvance:
+      return Category::kSync;
+    case EventKind::kCount: break;
+  }
+  return Category::kCount;
+}
+
+const char* arg0_name(EventKind kind) {
+  switch (category_of(kind)) {
+    case Category::kFault:
+    case Category::kCoherence:
+    case Category::kDisk:
+    case Category::kSync:
+      return "page";
+    case Category::kSched:
+      return "proc";
+    case Category::kNet:
+      return kind == EventKind::kRemoteOp || kind == EventKind::kMsgSend ||
+                     kind == EventKind::kRetransmit
+                 ? "msg_kind"
+                 : "arg0";
+    case Category::kCount: break;
+  }
+  return "arg0";
+}
+
+const char* arg1_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInvalidateSent: return "copies";
+    case EventKind::kInvalidateRecv: return "new_owner";
+    case EventKind::kOwnershipGained: return "from";
+    case EventKind::kOwnershipLost: return "to";
+    case EventKind::kPageSent: return "to";
+    case EventKind::kMsgSend: return "dst";
+    case EventKind::kRetransmit: return "dst";
+    case EventKind::kRemoteOp: return "dst";
+    case EventKind::kMigrateOut: return "to";
+    case EventKind::kMigrateIn: return "from";
+    case EventKind::kEcAdvance: return "value";
+    case EventKind::kReadFault:
+    case EventKind::kWriteFault: return "hops";
+    default: return "";
+  }
+}
+
+}  // namespace ivy::trace

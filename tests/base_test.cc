@@ -165,6 +165,117 @@ TEST(CounterNames, RosterMatchesEnum) {
   EXPECT_EQ(unique.size(), kCounterCount);
 }
 
+TEST(CounterNames, IndexAlignedWithEnum) {
+  const auto& names = counter_names();
+  EXPECT_STREQ(names[static_cast<std::size_t>(Counter::kReadFaults)],
+               "read_faults");
+  EXPECT_STREQ(names[static_cast<std::size_t>(Counter::kOwnershipTransfers)],
+               "ownership_transfers");
+  EXPECT_STREQ(names[static_cast<std::size_t>(Counter::kMigrations)],
+               "migrations");
+  EXPECT_STREQ(names[static_cast<std::size_t>(Counter::kFreeCalls)],
+               "free_calls");
+}
+
+TEST(HistNames, RosterMatchesEnum) {
+  const auto& names = hist_names();
+  std::set<std::string> unique;
+  for (const char* name : names) {
+    ASSERT_NE(name, nullptr);
+    ASSERT_GT(std::string(name).size(), 0u);
+    unique.insert(name);
+  }
+  EXPECT_EQ(unique.size(), kHistCount);
+  EXPECT_STREQ(names[static_cast<std::size_t>(Hist::kFaultResolution)],
+               "fault_resolution_ns");
+  EXPECT_STREQ(names[static_cast<std::size_t>(Hist::kDiskStall)],
+               "disk_stall_ns");
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 = {0}; bucket b >= 1 = [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  // Top bucket is open-ended: values past 2^63 clamp instead of indexing
+  // out of range.
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 63u);
+  EXPECT_EQ(Histogram::bucket_hi(63), ~std::uint64_t{0});
+
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    // Each bucket's bounds contain exactly the values it receives.
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(b)), b);
+    EXPECT_LT(Histogram::bucket_lo(b), Histogram::bucket_hi(b));
+    if (b + 1 < Histogram::kBuckets) {
+      EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_hi(b) - 1), b);
+      EXPECT_EQ(Histogram::bucket_hi(b), Histogram::bucket_lo(b + 1));
+    }
+  }
+}
+
+TEST(Histogram, RecordAndStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  h.record(0);
+  h.record(1);
+  h.record(3);
+  h.record(1000);
+  h.record(-5);  // negative latencies clamp to zero
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1004u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1004.0 / 5.0);
+  EXPECT_EQ(h.bucket(0), 2u);   // 0 and the clamped -5
+  EXPECT_EQ(h.bucket(1), 1u);   // 1
+  EXPECT_EQ(h.bucket(2), 1u);   // 3
+  EXPECT_EQ(h.bucket(10), 1u);  // 1000 in [512, 1024)
+}
+
+TEST(Histogram, MergeAddsCountsAndExtremes) {
+  Histogram a;
+  a.record(4);
+  a.record(16);
+  Histogram b;
+  b.record(2);
+  b.record(100);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 122u);
+  EXPECT_EQ(a.min(), 2u);
+  EXPECT_EQ(a.max(), 100u);
+  EXPECT_EQ(a.bucket(Histogram::bucket_of(2)), 1u);
+  EXPECT_EQ(a.bucket(Histogram::bucket_of(4)), 1u);
+
+  // Merging into an empty histogram takes the other's extremes.
+  Histogram empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.min(), 2u);
+  EXPECT_EQ(empty.max(), 100u);
+}
+
+TEST(Stats, LatencyHistogramsPerNodeAndMerged) {
+  Stats stats(2);
+  stats.record_latency(0, Hist::kFaultResolution, 10);
+  stats.record_latency(1, Hist::kFaultResolution, 30);
+  stats.record_latency(1, Hist::kLockWait, 7);
+  EXPECT_EQ(stats.node_hist(0, Hist::kFaultResolution).count(), 1u);
+  EXPECT_EQ(stats.node_hist(1, Hist::kFaultResolution).count(), 1u);
+  const Histogram merged = stats.hist(Hist::kFaultResolution);
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.sum(), 40u);
+  EXPECT_EQ(merged.min(), 10u);
+  EXPECT_EQ(merged.max(), 30u);
+  EXPECT_EQ(stats.hist(Hist::kEcWait).count(), 0u);
+}
+
 TEST(Types, TimeLiteralHelpers) {
   EXPECT_EQ(us(1), 1000);
   EXPECT_EQ(ms(1), 1'000'000);

@@ -1,0 +1,486 @@
+// ivy::trace — tracer ring buffer, Chrome trace / metrics exporters and
+// the hot-page report.  The exporter tests parse the emitted JSON with a
+// small in-file recursive-descent parser (no external dependency) and
+// cross-check it against the live Stats registry.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ivy/apps/jacobi.h"
+#include "ivy/trace/chrome_trace.h"
+#include "ivy/trace/hot_pages.h"
+#include "ivy/trace/metrics.h"
+#include "ivy/trace/trace.h"
+
+namespace ivy::trace {
+namespace {
+
+// --- minimal JSON parser ---------------------------------------------------
+
+struct Json {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool boolean = false;
+  std::string num;  // raw numeric token, exact for 64-bit integers
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  [[nodiscard]] std::uint64_t as_u64() const {
+    if (kind != kNum) throw std::runtime_error("not a number");
+    return std::strtoull(num.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    if (kind != kObj) throw std::runtime_error("not an object");
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kind == kObj && obj.count(key) != 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  Json value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      Json v;
+      v.kind = Json::kStr;
+      v.str = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return {};
+    }
+    return number();
+  }
+
+  Json object() {
+    Json v;
+    v.kind = Json::kObj;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.obj.emplace(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.kind = Json::kArr;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        c = peek();
+        ++pos_;
+        switch (c) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: out += c; break;  // \" \\ \/ — enough for our exporters
+        }
+      } else {
+        out += c;
+      }
+    }
+    ++pos_;
+    return out;
+  }
+
+  Json boolean() {
+    Json v;
+    v.kind = Json::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  Json number() {
+    Json v;
+    v.kind = Json::kNum;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      v.num += s_[pos_++];
+    }
+    if (v.num.empty()) throw std::runtime_error("bad number");
+    return v;
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) {
+        throw std::runtime_error(std::string("expected ") + word);
+      }
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Json parse_json(const std::string& text) { return JsonParser(text).parse(); }
+
+// --- tracer unit tests -----------------------------------------------------
+
+TEST(Tracer, DisabledRecordsNothingAndAllocatesNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.capacity(), 0u);
+  t.record(0, EventKind::kReadFault, 7);
+  t.record_span(1, EventKind::kMsgSend, 10, 5);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RingBufferOverwritesOldestFirst) {
+  Tracer t;
+  t.enable(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    t.record_span(0, EventKind::kMsgSend, static_cast<Time>(i), 1, i);
+  }
+  EXPECT_EQ(t.capacity(), 8u);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.recorded(), 20u);
+  EXPECT_EQ(t.dropped(), 12u);
+
+  // Retained window is the last 8 records, visited oldest first.
+  std::vector<std::uint64_t> seen;
+  t.for_each([&](const Event& e) { seen.push_back(e.arg0); });
+  ASSERT_EQ(seen.size(), 8u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 12 + i);
+  }
+}
+
+TEST(Tracer, ReenableResetsBuffer) {
+  Tracer t;
+  t.enable(4);
+  t.record(0, EventKind::kReadFault, 1);
+  t.enable(16);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.capacity(), 16u);
+  t.disable();
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.capacity(), 0u);
+}
+
+TEST(Tracer, UsesInjectedClockForInstantEvents) {
+  Tracer t;
+  t.enable(4);
+  Time now = 1234;
+  t.set_clock([&now] { return now; });
+  t.record(2, EventKind::kEcAdvance, 9);
+  now = 5678;
+  t.record(2, EventKind::kEcAdvance, 9);
+  std::vector<Time> stamps;
+  t.for_each([&](const Event& e) { stamps.push_back(e.ts); });
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_EQ(stamps[0], 1234);
+  EXPECT_EQ(stamps[1], 5678);
+}
+
+TEST(TraceNames, EveryEventKindHasNameAndCategory) {
+  for (std::size_t k = 0; k < static_cast<std::size_t>(EventKind::kCount);
+       ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    EXPECT_GT(std::string(to_string(kind)).size(), 0u);
+    EXPECT_LT(static_cast<std::size_t>(category_of(kind)),
+              static_cast<std::size_t>(Category::kCount));
+  }
+}
+
+// --- runtime integration ---------------------------------------------------
+
+Config traced_config(svm::ManagerKind manager) {
+  Config cfg;
+  cfg.nodes = 4;
+  cfg.manager = manager;
+  cfg.heap_pages = 4096;
+  cfg.stack_region_pages = 64;
+  cfg.trace_enabled = true;
+  cfg.trace_capacity = 1 << 16;
+  cfg.name = "trace_test";
+  return cfg;
+}
+
+apps::RunOutcome run_small_jacobi(Runtime& rt) {
+  apps::JacobiParams p;
+  p.n = 64;
+  p.iterations = 4;
+  p.mark_epochs = true;
+  return apps::run_jacobi(rt, p);
+}
+
+TEST(TracerIntegration, DisabledRuntimeAllocatesNoEventBuffer) {
+  Config cfg = traced_config(svm::ManagerKind::kDynamicDistributed);
+  cfg.trace_enabled = false;
+  Runtime rt(cfg);
+  const apps::RunOutcome out = run_small_jacobi(rt);
+  EXPECT_TRUE(out.verified) << out.detail;
+  EXPECT_EQ(rt.stats().tracer(), nullptr);
+  EXPECT_FALSE(rt.tracer().enabled());
+  EXPECT_EQ(rt.tracer().capacity(), 0u);
+  EXPECT_EQ(rt.tracer().recorded(), 0u);
+}
+
+TEST(TracerIntegration, TracedRunIsDeterministicAndStampsVirtualTime) {
+  auto run = [] {
+    Runtime rt(traced_config(svm::ManagerKind::kDynamicDistributed));
+    (void)run_small_jacobi(rt);
+    std::vector<Event> events;
+    rt.tracer().for_each([&](const Event& e) { events.push_back(e); });
+    return events;
+  };
+  const std::vector<Event> a = run();
+  const std::vector<Event> b = run();
+  ASSERT_GT(a.size(), 0u);
+  ASSERT_EQ(a.size(), b.size());
+  bool saw_span = false;
+  bool saw_nonzero_ts = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].arg0, b[i].arg0);
+    EXPECT_GE(a[i].ts, 0);
+    EXPECT_GE(a[i].dur, 0);
+    EXPECT_LT(a[i].node, 4u);
+    saw_span = saw_span || a[i].dur > 0;
+    saw_nonzero_ts = saw_nonzero_ts || a[i].ts > 0;
+  }
+  EXPECT_TRUE(saw_span);        // latency spans carry real durations
+  EXPECT_TRUE(saw_nonzero_ts);  // stamps come from the virtual clock
+}
+
+TEST(ChromeTrace, ExportParsesAndContainsCoherenceEvents) {
+  Runtime rt(traced_config(svm::ManagerKind::kFixedDistributed));
+  const apps::RunOutcome out = run_small_jacobi(rt);
+  ASSERT_TRUE(out.verified) << out.detail;
+
+  std::ostringstream os;
+  write_chrome_trace(os, rt.tracer(), "trace_test");
+  const Json root = parse_json(os.str());
+
+  const Json& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::kArr);
+  ASSERT_GT(events.arr.size(), 0u);
+
+  std::map<std::string, std::size_t> by_name;
+  for (const Json& e : events.arr) {
+    const std::string& ph = e.at("ph").str;
+    ASSERT_TRUE(ph == "X" || ph == "i" || ph == "M") << ph;
+    if (ph != "M") {
+      EXPECT_TRUE(e.has("ts"));
+      EXPECT_LT(e.at("pid").as_u64(), 4u);  // pid = node id
+    }
+    ++by_name[e.at("name").str];
+  }
+  // The protocol events the issue names: faults, invalidations and
+  // ownership transfers, all present in a 4-node Jacobi run.
+  EXPECT_GT(by_name["read_fault"], 0u);
+  EXPECT_GT(by_name["write_fault"], 0u);
+  EXPECT_GT(by_name["invalidate_round"] + by_name["invalidated"], 0u);
+  EXPECT_GT(by_name["ownership_transfer"] + by_name["ownership_gained"], 0u);
+  EXPECT_GT(by_name["process_name"], 0u);  // Perfetto process metadata
+}
+
+class MetricsOnManagers : public testing::TestWithParam<svm::ManagerKind> {};
+
+TEST_P(MetricsOnManagers, JsonRoundTripsCounterValues) {
+  Runtime rt(traced_config(GetParam()));
+  const apps::RunOutcome out = run_small_jacobi(rt);
+  ASSERT_TRUE(out.verified) << out.detail;
+
+  std::ostringstream os;
+  MetricsInfo info;
+  info.name = "trace_test";
+  info.elapsed = out.elapsed;
+  write_metrics_json(os, rt.stats(), &rt.tracer(), info);
+  const Json root = parse_json(os.str());
+
+  EXPECT_EQ(root.at("name").str, "trace_test");
+  EXPECT_EQ(root.at("nodes").as_u64(), 4u);
+  EXPECT_EQ(root.at("elapsed_ns").as_u64(),
+            static_cast<std::uint64_t>(out.elapsed));
+
+  // Every counter round-trips exactly, totals and per node.
+  const Json& totals = root.at("counters_total");
+  const Json& per_node = root.at("counters_per_node");
+  ASSERT_EQ(per_node.arr.size(), 4u);
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::string name = counter_names()[i];
+    EXPECT_EQ(totals.at(name).as_u64(), rt.stats().total(c)) << name;
+    for (NodeId n = 0; n < 4; ++n) {
+      EXPECT_EQ(per_node.arr[n].at(name).as_u64(), rt.stats().node_total(n, c))
+          << name << " node " << n;
+    }
+  }
+
+  // One epoch delta per Jacobi iteration, summing back to the totals.
+  const Json& epochs = root.at("epochs");
+  ASSERT_EQ(epochs.arr.size(), rt.stats().epoch_count());
+  ASSERT_GE(epochs.arr.size(), 4u);
+  std::uint64_t fault_sum = 0;
+  for (const Json& e : epochs.arr) {
+    if (e.has("read_faults")) fault_sum += e.at("read_faults").as_u64();
+  }
+  EXPECT_LE(fault_sum, rt.stats().total(Counter::kReadFaults));
+
+  // Histograms: counts and sums round-trip; fault resolution always fires.
+  const Json& hists = root.at("histograms");
+  for (std::size_t i = 0; i < kHistCount; ++i) {
+    const Histogram h = rt.stats().hist(static_cast<Hist>(i));
+    const Json& jh = hists.at(hist_names()[i]);
+    EXPECT_EQ(jh.at("count").as_u64(), h.count());
+    EXPECT_EQ(jh.at("sum").as_u64(), h.sum());
+  }
+  EXPECT_GT(hists.at("fault_resolution_ns").at("count").as_u64(), 0u);
+
+  // Trace meta + hot pages are present because the tracer was on.
+  EXPECT_EQ(root.at("trace").at("recorded").as_u64(), rt.tracer().recorded());
+  EXPECT_GT(root.at("hot_pages").arr.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Managers, MetricsOnManagers,
+    testing::Values(svm::ManagerKind::kCentralized,
+                    svm::ManagerKind::kFixedDistributed,
+                    svm::ManagerKind::kDynamicDistributed),
+    [](const testing::TestParamInfo<svm::ManagerKind>& info) {
+      return std::string(svm::to_string(info.param));
+    });
+
+TEST(Metrics, CsvHasOneRowPerCounter) {
+  Runtime rt(traced_config(svm::ManagerKind::kDynamicDistributed));
+  (void)run_small_jacobi(rt);
+  std::ostringstream os;
+  write_metrics_csv(os, rt.stats());
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "counter,total,node0,node1,node2,node3");
+  std::size_t rows = 0;
+  while (std::getline(is, line)) ++rows;
+  EXPECT_EQ(rows, kCounterCount);
+}
+
+// --- hot pages -------------------------------------------------------------
+
+TEST(HotPages, RanksByFaultsThenInvalidations) {
+  Tracer t;
+  t.enable(64);
+  // Page 7: three faults from two nodes, one invalidation.
+  t.record_span(0, EventKind::kReadFault, 0, 5, 7);
+  t.record_span(1, EventKind::kWriteFault, 10, 5, 7);
+  t.record_span(0, EventKind::kWriteFault, 20, 5, 7);
+  t.record(1, EventKind::kInvalidateRecv, 7, 0);
+  // Page 3: one fault.
+  t.record_span(2, EventKind::kReadFault, 30, 5, 3);
+  // Page 9: ownership move only — no faults, ranks last.
+  t.record(3, EventKind::kOwnershipGained, 9, 1);
+
+  const std::vector<HotPage> ranked = hot_pages(t, 10);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].page, 7u);
+  EXPECT_EQ(ranked[0].faults, 3u);
+  EXPECT_EQ(ranked[0].invalidations, 1u);
+  EXPECT_EQ(ranked[0].faulting_nodes.count(), 2u);
+  EXPECT_EQ(ranked[1].page, 3u);
+  EXPECT_EQ(ranked[2].page, 9u);
+  EXPECT_EQ(ranked[2].transfers, 1u);
+
+  const std::string report = hot_page_report(t, 2);
+  EXPECT_NE(report.find("page"), std::string::npos);
+  EXPECT_NE(report.find("7"), std::string::npos);
+
+  Tracer empty;
+  empty.enable(4);
+  EXPECT_EQ(hot_page_report(empty, 5), "");
+}
+
+}  // namespace
+}  // namespace ivy::trace
