@@ -26,7 +26,8 @@ void run_workload(const char* name,
                     svm::ManagerKind::kDynamicDistributed,
                     svm::ManagerKind::kBroadcast}) {
     Config cfg = base_config(8);
-    cfg.manager = kind;
+    apply_cli(cfg);
+    cfg.manager = kind;  // the sweep dimension; --manager does not apply
     auto rt = std::make_unique<Runtime>(cfg);
     const apps::RunOutcome out = body(*rt);
     const Stats& stats = rt->stats();
@@ -42,6 +43,9 @@ void run_workload(const char* name,
                 static_cast<unsigned long long>(
                     stats.total(Counter::kMessages)),
                 out.verified ? "yes" : "NO");
+    if (oracle::Oracle* o = rt->oracle()) {
+      std::printf("  %s\n", o->brief().c_str());
+    }
     std::fflush(stdout);
   }
   std::printf("\n");
@@ -70,7 +74,8 @@ void run() {
 }  // namespace
 }  // namespace ivy::bench
 
-int main() {
+int main(int argc, char** argv) {
+  if (!ivy::bench::parse_cli(argc, argv)) return 2;
   ivy::bench::run();
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include "ivy/apps/workload.h"
 #include "ivy/ivy.h"
+#include "ivy/runtime/flags.h"
 
 namespace ivy::bench {
 
@@ -29,84 +30,46 @@ inline Config base_config(NodeId nodes) {
 
 // --- command line ----------------------------------------------------------
 //
-// Every harness accepts the same observability flags:
-//   --trace-out PATH      Chrome trace_event JSON of the last run
-//   --metrics-out PATH    counters/histograms JSON (CSV if PATH ends .csv)
-//   --trace-capacity N    event ring capacity (default 262144)
-//   --hot-pages N         print the top-N hot-page table after each sweep
-// A bench executes many runs; each traced run overwrites the output
-// files, so the artifacts describe the LAST run (harnesses order their
-// sweeps so that is the most interesting one).
+// Every harness accepts the shared observability flags (see
+// ivy/runtime/flags.h): --trace-out, --metrics-out, --trace-capacity,
+// --hot-pages, --oracle, --manager.  A bench executes many runs; each
+// traced run overwrites the output files, so the artifacts describe the
+// LAST run (harnesses order their sweeps so that is the most
+// interesting one).
 
-struct CliOptions {
-  std::string trace_out;
-  std::string metrics_out;
-  std::size_t trace_capacity = 1 << 18;
-  std::size_t hot_pages = 0;
-
-  [[nodiscard]] bool tracing() const {
-    return !trace_out.empty() || hot_pages > 0;
-  }
-  [[nodiscard]] bool any() const {
-    return tracing() || !metrics_out.empty();
-  }
-};
-
-inline CliOptions& cli() {
-  static CliOptions options;
+inline runtime::ObsFlags& cli() {
+  static runtime::ObsFlags options;
   return options;
 }
 
 /// Parses the shared flags; returns false (after printing usage) on an
-/// unknown flag or missing argument.
+/// unknown flag, a bad value, or a leftover argument (benches take no
+/// positionals).
 inline bool parse_cli(int argc, char** argv) {
-  CliOptions& opt = cli();
-  bool ok = true;
-  for (int i = 1; i < argc && ok; ++i) {
-    const char* arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        ok = false;
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(arg, "--trace-out") == 0) {
-      if (const char* v = value()) opt.trace_out = v;
-    } else if (std::strcmp(arg, "--metrics-out") == 0) {
-      if (const char* v = value()) opt.metrics_out = v;
-    } else if (std::strcmp(arg, "--trace-capacity") == 0) {
-      if (const char* v = value()) {
-        opt.trace_capacity = std::strtoull(v, nullptr, 10);
-        ok = opt.trace_capacity > 0;
-      }
-    } else if (std::strcmp(arg, "--hot-pages") == 0) {
-      if (const char* v = value()) opt.hot_pages = std::strtoull(v, nullptr, 10);
-    } else {
-      ok = false;
-    }
-  }
+  std::string error;
+  int remaining = argc;
+  const bool ok =
+      runtime::parse_obs_flags(&remaining, argv, &cli(), &error) &&
+      remaining == 1;
   if (!ok) {
-    std::fprintf(stderr,
-                 "usage: %s [--trace-out PATH] [--metrics-out PATH]\n"
-                 "          [--trace-capacity N] [--hot-pages N]\n",
-                 argv[0]);
+    if (!error.empty()) std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    std::fprintf(stderr, "usage: %s %s\n", argv[0],
+                 runtime::obs_flags_usage());
   }
   return ok;
 }
 
-/// Arms tracing on a config when any observability output is requested.
-inline void apply_cli(Config& cfg) {
-  if (cli().tracing() || !cli().metrics_out.empty()) {
-    cfg.trace_enabled = true;
-    cfg.trace_capacity = cli().trace_capacity;
-  }
-}
+/// Arms tracing/oracle/manager-override on a config as requested.
+inline void apply_cli(Config& cfg) { cli().apply(cfg); }
 
-/// Writes the requested artifacts for one finished run (overwrites).
+/// Writes the requested artifacts for one finished run (overwrites) and
+/// prints the oracle's one-line verdict when one is armed.
 inline void export_run(Runtime& rt, Time elapsed) {
   if (!cli().trace_out.empty()) rt.write_trace(cli().trace_out);
   if (!cli().metrics_out.empty()) rt.write_metrics(cli().metrics_out, elapsed);
+  if (oracle::Oracle* o = rt.oracle()) {
+    std::printf("  %s\n", o->brief().c_str());
+  }
 }
 
 /// Prints the hot-page table for a finished run when requested.

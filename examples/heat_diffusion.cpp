@@ -9,25 +9,27 @@
 //
 //   ./build/examples/heat_diffusion [nodes] [grid] [max_iters]
 //                                   [--trace-out t.json] [--metrics-out m.json]
+//                                   [--oracle warn|strict]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "ivy/ivy.h"
+#include "ivy/runtime/flags.h"
 
 int main(int argc, char** argv) {
-  std::string trace_out, metrics_out;
+  ivy::runtime::ObsFlags flags;
+  std::string error;
+  if (!ivy::runtime::parse_obs_flags(&argc, &argv[0], &flags, &error)) {
+    std::fprintf(stderr, "%s\nusage: %s [nodes] [grid] [max_iters] %s\n",
+                 error.c_str(), argv[0], ivy::runtime::obs_flags_usage());
+    return 2;
+  }
   int npos = 0;
   std::size_t positional[3] = {4, 64, 40};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
-      trace_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
-      metrics_out = argv[++i];
-    } else if (npos < 3) {
-      positional[npos++] = static_cast<std::size_t>(std::atoi(argv[i]));
-    }
+  for (int i = 1; i < argc && npos < 3; ++i) {
+    positional[npos++] = static_cast<std::size_t>(std::atoi(argv[i]));
   }
   const ivy::NodeId nodes = static_cast<ivy::NodeId>(positional[0]);
   const std::size_t grid = positional[1];
@@ -37,7 +39,7 @@ int main(int argc, char** argv) {
   cfg.nodes = nodes;
   cfg.heap_pages = 16384;
   cfg.name = "heat_diffusion";
-  cfg.trace_enabled = !trace_out.empty() || !metrics_out.empty();
+  flags.apply(cfg);
   ivy::Runtime rt(cfg);
 
   auto temp = rt.alloc_array<double>(grid * grid);
@@ -117,12 +119,16 @@ int main(int argc, char** argv) {
               static_cast<double>(
                   rt.stats().total(ivy::Counter::kBytesOnRing)) /
                   1e6);
-  if (!trace_out.empty() && rt.write_trace(trace_out)) {
+  if (!flags.trace_out.empty() && rt.write_trace(flags.trace_out)) {
     std::printf("wrote %s (open in Perfetto / chrome://tracing)\n",
-                trace_out.c_str());
+                flags.trace_out.c_str());
   }
-  if (!metrics_out.empty() && rt.write_metrics(metrics_out, elapsed)) {
-    std::printf("wrote %s\n", metrics_out.c_str());
+  if (!flags.metrics_out.empty() &&
+      rt.write_metrics(flags.metrics_out, elapsed)) {
+    std::printf("wrote %s\n", flags.metrics_out.c_str());
+  }
+  if (ivy::oracle::Oracle* o = rt.oracle()) {
+    std::printf("%s\n", o->brief().c_str());
   }
   return 0;
 }

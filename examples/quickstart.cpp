@@ -6,17 +6,21 @@
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart [--trace-out t.json] [--metrics-out m.json]
+//                               [--oracle warn|strict]
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "ivy/ivy.h"
+#include "ivy/runtime/flags.h"
 
 int main(int argc, char** argv) {
-  std::string trace_out, metrics_out;
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
-    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
+  ivy::runtime::ObsFlags flags;
+  std::string error;
+  if (!ivy::runtime::parse_obs_flags(&argc, argv, &flags, &error)) {
+    std::fprintf(stderr, "%s\nusage: %s %s\n", error.c_str(), argv[0],
+                 ivy::runtime::obs_flags_usage());
+    return 2;
   }
 
   ivy::Config cfg;
@@ -24,7 +28,7 @@ int main(int argc, char** argv) {
   cfg.name = "quickstart";
   // Observability: record every protocol event when an export was asked
   // for; disabled tracing costs nothing.
-  cfg.trace_enabled = !trace_out.empty() || !metrics_out.empty();
+  flags.apply(cfg);
 
   ivy::Runtime rt(cfg);
 
@@ -73,12 +77,16 @@ int main(int argc, char** argv) {
                   rt.stats().total(ivy::Counter::kWriteFaults)),
               static_cast<unsigned long long>(
                   rt.stats().total(ivy::Counter::kPageTransfers)));
-  if (!trace_out.empty() && rt.write_trace(trace_out)) {
+  if (!flags.trace_out.empty() && rt.write_trace(flags.trace_out)) {
     std::printf("wrote %s (open in Perfetto / chrome://tracing)\n",
-                trace_out.c_str());
+                flags.trace_out.c_str());
   }
-  if (!metrics_out.empty() && rt.write_metrics(metrics_out, elapsed)) {
-    std::printf("wrote %s\n", metrics_out.c_str());
+  if (!flags.metrics_out.empty() &&
+      rt.write_metrics(flags.metrics_out, elapsed)) {
+    std::printf("wrote %s\n", flags.metrics_out.c_str());
+  }
+  if (ivy::oracle::Oracle* o = rt.oracle()) {
+    std::printf("%s\n", o->brief().c_str());
   }
   return 0;
 }

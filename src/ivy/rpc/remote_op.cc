@@ -42,6 +42,7 @@ std::uint64_t RemoteOp::request(NodeId dst, net::MsgKind kind,
   out.timeout = timeout;
   const std::uint64_t id = msg.rpc_id;
   outstanding_.emplace(id, std::move(out));
+  IVY_EVT(stats_, record(self_, trace::EventKind::kRpcRequest, id, dst));
   transmit(std::move(msg));
   arm_retransmit_timer();
   return id;
@@ -91,6 +92,8 @@ std::uint64_t RemoteOp::broadcast(net::MsgKind kind, std::any payload,
       break;
     }
   }
+  IVY_EVT(stats_,
+          record(self_, trace::EventKind::kRpcRequest, id, kMaxNodes));
   transmit(std::move(msg));
   arm_retransmit_timer();
   return id;
@@ -125,6 +128,8 @@ void RemoteOp::reply(const PendingReply& pending, std::any payload,
   msg.is_reply = true;
   msg.payload = std::move(payload);
   msg.wire_bytes = wire_bytes;
+  IVY_EVT(stats_, record(self_, trace::EventKind::kRpcReplySent,
+                         pending.rpc_id, pending.origin));
   // Model the server-side software time before the reply hits the wire.
   sim_.schedule_after(sim_.costs().fault_server,
                       [this, m = std::move(msg)]() mutable {
@@ -134,6 +139,12 @@ void RemoteOp::reply(const PendingReply& pending, std::any payload,
 
 void RemoteOp::ignore(const net::Message& req) {
   in_progress_.erase(dedup_key(req.origin, req.rpc_id));
+}
+
+void RemoteOp::cancel(std::uint64_t rpc_id) {
+  if (outstanding_.erase(rpc_id) > 0) {
+    IVY_EVT(stats_, record(self_, trace::EventKind::kRpcCancel, rpc_id, 0));
+  }
 }
 
 void RemoteOp::forward(net::Message&& req, NodeId next) {
@@ -170,6 +181,8 @@ void RemoteOp::set_orphan_reply_handler(net::MsgKind kind,
 void RemoteOp::handle_reply(net::Message&& msg) {
   auto it = outstanding_.find(msg.rpc_id);
   if (it == outstanding_.end()) {
+    IVY_EVT(stats_, record(self_, trace::EventKind::kRpcOrphan, msg.rpc_id,
+                           msg.src));
     // Late duplicate.  Give resource-bearing replies a chance to be
     // absorbed; drop the rest.
     if (auto oh = orphan_handlers_.find(msg.kind);
@@ -228,6 +241,8 @@ void RemoteOp::handle_request(net::Message&& msg) {
       rep.is_reply = true;
       rep.payload = done.payload;
       rep.wire_bytes = done.wire_bytes;
+      IVY_EVT(stats_, record(self_, trace::EventKind::kRpcReplySent,
+                             rep.rpc_id, rep.origin));
       transmit(std::move(rep));
       return;
     }

@@ -80,7 +80,7 @@ class RemoteOp {
   /// retransmissions will be sent.  A reply that still arrives is routed
   /// to the orphan handler of its kind (so resource-bearing replies are
   /// not lost).  No-op if the request already completed.
-  void cancel(std::uint64_t rpc_id) { outstanding_.erase(rpc_id); }
+  void cancel(std::uint64_t rpc_id);
 
   // --- server side -------------------------------------------------------
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "ivy/oracle/oracle.h"
 #include "ivy/proc/scheduler.h"
 #include "ivy/sim/cost_model.h"
 #include "ivy/svm/svm.h"
@@ -56,6 +57,11 @@ struct Config {
   bool trace_enabled = false;
   /// Ring-buffer capacity in events (oldest overwritten when full).
   std::size_t trace_capacity = 1 << 16;
+  /// Online coherence oracle: a global observer (zero virtual-time cost)
+  /// that checks the single-owner / copyset / chain / invalidation
+  /// invariants on every transition.  kStrict aborts on the first
+  /// violation; kWarn logs and counts.
+  oracle::Mode oracle_mode = oracle::Mode::kOff;
 
   // --- timing ----------------------------------------------------------------
   sim::CostModel costs;

@@ -1,0 +1,109 @@
+#include "ivy/runtime/flags.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ivy::runtime {
+namespace {
+
+bool parse_manager(const std::string& text, svm::ManagerKind* out) {
+  if (text == "centralized") {
+    *out = svm::ManagerKind::kCentralized;
+  } else if (text == "fixed" || text == "fixed_distributed") {
+    *out = svm::ManagerKind::kFixedDistributed;
+  } else if (text == "dynamic" || text == "dynamic_distributed") {
+    *out = svm::ManagerKind::kDynamicDistributed;
+  } else if (text == "broadcast") {
+    *out = svm::ManagerKind::kBroadcast;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ObsFlags::apply(Config& cfg) const {
+  if (tracing() || !metrics_out.empty()) {
+    cfg.trace_enabled = true;
+    cfg.trace_capacity = trace_capacity;
+  }
+  if (oracle != oracle::Mode::kOff) cfg.oracle_mode = oracle;
+  if (manager.has_value()) cfg.manager = *manager;
+}
+
+bool parse_obs_flags(int* argc, char** argv, ObsFlags* out,
+                     std::string* error) {
+  int kept = 1;
+  bool ok = true;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    // Splits "--name" / "--name=value" / "--name value"; value may be
+    // null for an unrecognized token.
+    std::string name = arg;
+    const char* value = nullptr;
+    if (const char* eq = std::strchr(arg, '=');
+        eq != nullptr && arg[0] == '-') {
+      name.assign(arg, eq);
+      value = eq + 1;
+    }
+    const auto take_value = [&]() -> const char* {
+      if (value != nullptr) return value;
+      if (i + 1 < *argc) return argv[++i];
+      *error = name + " needs a value";
+      ok = false;
+      return nullptr;
+    };
+    if (name == "--trace-out") {
+      if (const char* v = take_value()) out->trace_out = v;
+    } else if (name == "--metrics-out") {
+      if (const char* v = take_value()) out->metrics_out = v;
+    } else if (name == "--trace-capacity") {
+      if (const char* v = take_value()) {
+        out->trace_capacity = std::strtoull(v, nullptr, 10);
+        if (out->trace_capacity == 0) {
+          *error = "--trace-capacity must be positive";
+          ok = false;
+        }
+      }
+    } else if (name == "--hot-pages") {
+      if (const char* v = take_value()) {
+        out->hot_pages = std::strtoull(v, nullptr, 10);
+      }
+    } else if (name == "--oracle") {
+      if (const char* v = take_value()) {
+        if (!oracle::parse_mode(v, &out->oracle)) {
+          *error = std::string("--oracle expects off|warn|strict, got ") + v;
+          ok = false;
+        }
+      }
+    } else if (name == "--manager") {
+      if (const char* v = take_value()) {
+        svm::ManagerKind kind;
+        if (parse_manager(v, &kind)) {
+          out->manager = kind;
+        } else {
+          *error = std::string(
+                       "--manager expects centralized|fixed|dynamic|"
+                       "broadcast, got ") +
+                   v;
+          ok = false;
+        }
+      }
+    } else {
+      argv[kept++] = argv[i];  // not ours: keep for the caller
+      continue;
+    }
+    if (!ok) break;
+  }
+  if (ok) *argc = kept;
+  return ok;
+}
+
+const char* obs_flags_usage() {
+  return "[--trace-out PATH] [--metrics-out PATH] [--trace-capacity N]\n"
+         "          [--hot-pages N] [--oracle off|warn|strict]\n"
+         "          [--manager centralized|fixed|dynamic|broadcast]";
+}
+
+}  // namespace ivy::runtime

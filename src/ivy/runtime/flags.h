@@ -1,0 +1,56 @@
+// Shared observability command-line flags.
+//
+// Every harness in this repo (benches, examples, tools that run a
+// machine) accepts the same observability switches; this helper owns
+// their parsing so the flag set evolves in exactly one place:
+//
+//   --trace-out PATH      Chrome trace_event JSON of the (last) run
+//   --metrics-out PATH    counters/histograms JSON (CSV if PATH ends .csv)
+//   --trace-capacity N    event ring capacity (default 262144)
+//   --hot-pages N         print the top-N hot-page table
+//   --oracle MODE         coherence oracle: off | warn | strict
+//
+// Both "--flag value" and "--flag=value" spellings are accepted.
+// Recognized flags are REMOVED from argv, so callers parse their own
+// positionals afterwards without seeing ours.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ivy/runtime/config.h"
+
+namespace ivy::runtime {
+
+struct ObsFlags {
+  std::string trace_out;
+  std::string metrics_out;
+  std::size_t trace_capacity = 1 << 18;
+  std::size_t hot_pages = 0;
+  oracle::Mode oracle = oracle::Mode::kOff;
+  /// Coherence algorithm override (--manager KIND), for driving one
+  /// binary across all four managers from CI.
+  std::optional<svm::ManagerKind> manager;
+
+  [[nodiscard]] bool tracing() const {
+    return !trace_out.empty() || hot_pages > 0;
+  }
+  [[nodiscard]] bool any() const {
+    return tracing() || !metrics_out.empty() ||
+           oracle != oracle::Mode::kOff || manager.has_value();
+  }
+
+  /// Arms tracing / the oracle / the manager override on a config.
+  void apply(Config& cfg) const;
+};
+
+/// Parses and strips the shared flags from argv; *argc is updated.
+/// Returns false with a description in *error on a malformed flag
+/// (unknown flags are left in place for the caller).
+bool parse_obs_flags(int* argc, char** argv, ObsFlags* out,
+                     std::string* error);
+
+/// One-line usage text for the shared flags, for harness usage messages.
+[[nodiscard]] const char* obs_flags_usage();
+
+}  // namespace ivy::runtime

@@ -13,8 +13,10 @@ namespace {
 /// the user directly contacts" — node 0.
 constexpr NodeId kAllocNode = 0;
 
-svm::SvmOptions svm_options(const Config& cfg) {
+svm::SvmOptions svm_options(const Config& cfg,
+                            svm::CoherenceObserver* observer) {
   svm::SvmOptions opts;
+  opts.observer = observer;
   opts.geo = cfg.geometry();
   opts.manager = cfg.manager;
   opts.manager_node = cfg.manager_node;
@@ -32,7 +34,8 @@ svm::SvmOptions svm_options(const Config& cfg) {
 
 Runtime::NodeCtx::NodeCtx(Runtime& rt, NodeId id)
     : rpc(rt.sim_, rt.ring_, rt.stats_, id),
-      svm(rt.sim_, rpc, rt.stats_, id, rt.cfg_.nodes, svm_options(rt.cfg_)),
+      svm(rt.sim_, rpc, rt.stats_, id, rt.cfg_.nodes,
+          svm_options(rt.cfg_, rt.oracle_.get())),
       sched(rt.sim_, rpc, svm, rt.stats_, id, rt.cfg_.sched, rt.live_,
             // Stack regions live above the heap, one slice per node.
             static_cast<SvmAddr>(rt.cfg_.heap_pages +
@@ -49,11 +52,18 @@ Runtime::Runtime(Config cfg)
       stats_((cfg_.validate(), cfg_.nodes)),
       ring_(sim_, stats_, cfg_.nodes) {
   if (cfg_.trace_enabled) enable_tracing(cfg_.trace_capacity);
+  if (cfg_.oracle_mode != oracle::Mode::kOff) {
+    oracle_ = std::make_unique<oracle::Oracle>(
+        cfg_.oracle_mode, cfg_.nodes, cfg_.geometry().num_pages,
+        cfg_.initial_owner);
+    oracle_->set_clock([this] { return sim_.now(); });
+  }
   nodes_.reserve(cfg_.nodes);
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeCtx>(*this, n));
     proc::Scheduler& sched = nodes_.back()->sched;
     nodes_.back()->svm.set_stall_hook([&sched](Time t) { sched.stall(t); });
+    if (oracle_) oracle_->attach(&nodes_.back()->svm);
   }
   if (cfg_.two_level_alloc) {
     for (auto& node : nodes_) {
@@ -127,7 +137,12 @@ Time Runtime::run() {
                   "deadlock: " << live_.live
                                << " processes alive but no events pending");
   }
-  return sim_.now() - start;
+  const Time elapsed = sim_.now() - start;
+  if (oracle_) {
+    drain();  // let in-flight handoffs settle so every page is quiescent
+    oracle_->final_audit();
+  }
+  return elapsed;
 }
 
 void Runtime::enable_tracing(std::size_t capacity) {

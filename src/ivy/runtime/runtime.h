@@ -109,6 +109,8 @@ class Runtime {
   /// The machine's event tracer.  Inert (no buffer) unless enabled via
   /// cfg.trace_enabled or enable_tracing().
   [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
+  /// The coherence oracle, or nullptr when cfg.oracle_mode == kOff.
+  [[nodiscard]] oracle::Oracle* oracle() { return oracle_.get(); }
   /// Arms the tracer mid-flight (e.g. to trace only a later phase).
   void enable_tracing(std::size_t capacity = 1 << 16);
   /// Writes the retained events as Chrome trace_event JSON (load in
@@ -161,6 +163,9 @@ class Runtime {
   trace::Tracer tracer_;
   net::Ring ring_;
   proc::LiveCounter live_;
+  // Declared before nodes_: the per-node Svm instances hold raw observer
+  // pointers into the oracle, so it must outlive them.
+  std::unique_ptr<oracle::Oracle> oracle_;
   std::vector<std::unique_ptr<NodeCtx>> nodes_;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ivy/base/log.h"
+#include "ivy/svm/observer.h"
 #include "ivy/trace/trace.h"
 
 namespace ivy::svm {
@@ -126,6 +127,10 @@ void Manager::serve_read(net::Message&& msg, PageId page) {
   svm_.stats().bump(svm_.self(), Counter::kPageTransfers);
   IVY_EVT(svm_.stats(), record(svm_.self(), trace::EventKind::kPageSent, page,
                                msg.origin));
+  if (CoherenceObserver* obs = svm_.observer()) {
+    obs->on_read_served(svm_.self(), page, msg.origin);
+    svm_.notify_content(page, entry.version, /*at_source=*/true);
+  }
   svm_.rpc().reply_to(msg, grant, grant.wire_bytes());
 }
 
@@ -156,6 +161,13 @@ void Manager::serve_write(net::Message&& msg, PageId page) {
   note_write_grant(page, msg.origin);
   svm_.rpc().reply_to(msg, grant, grant.wire_bytes());
   svm_.begin_pending_transfer(page, msg.origin, entry.version);
+  if (CoherenceObserver* obs = svm_.observer()) {
+    obs->on_write_served(svm_.self(), page, msg.origin, entry.version);
+    // Report the held image even for a bodyless grant: the requester's
+    // surviving copy must match it, which is exactly the interesting
+    // integrity check.
+    svm_.notify_content(page, entry.version, /*at_source=*/true);
+  }
 }
 
 void Manager::on_grant(net::Message&& reply) {
@@ -184,6 +196,7 @@ void Manager::on_grant(net::Message&& reply) {
     entry.access = Access::kRead;
     entry.version = grant.version;
     entry.prob_owner = reply.src;  // we now know the owner
+    svm_.notify_content(page, grant.version, /*at_source=*/false);
     svm_.complete_fault(page);
     return;
   }
@@ -206,6 +219,10 @@ void Manager::on_grant(net::Message&& reply) {
   entry.copyset.remove(svm_.self());
   entry.prob_owner = svm_.self();
   svm_.install_body(page, grant.body);
+  if (CoherenceObserver* obs = svm_.observer()) {
+    obs->on_ownership_gained(svm_.self(), page, reply.src, grant.version);
+    svm_.notify_content(page, grant.version, /*at_source=*/false);
+  }
   svm_.invalidate_copies(page, [this, page] {
     PageEntry& e = svm_.table().at(page);
     e.copyset.clear();
@@ -215,6 +232,16 @@ void Manager::on_grant(net::Message&& reply) {
 }
 
 void Manager::note_write_grant(PageId, NodeId) {}
+
+void Manager::note_forward(const net::Message& msg, PageId page,
+                           NodeId next) {
+  IVY_EVT(svm_.stats(), record(svm_.self(), trace::EventKind::kForward, page,
+                               msg.origin));
+  if (CoherenceObserver* obs = svm_.observer()) {
+    obs->on_forward(svm_.self(), page, next, msg.origin,
+                    msg.kind == net::MsgKind::kWriteFault);
+  }
+}
 
 void Manager::retry_fault(PageId page, net::MsgKind kind) {
   PageEntry& entry = svm_.table().at(page);

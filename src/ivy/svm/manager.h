@@ -89,6 +89,10 @@ class Manager {
   /// broadcast — the fallback when hint chains degenerate into cycles.
   void broadcast_locate(PageId page, net::MsgKind kind);
 
+  /// Records a routing hop (trace event + observer) just before the
+  /// request is handed to rpc().forward().
+  void note_forward(const net::Message& msg, PageId page, NodeId next);
+
   /// Re-drives an in-progress fault after its request bounced or its
   /// grant proved stale.  Handles the case where ownership arrived
   /// through a side channel (absorbed duplicate) in the meantime.

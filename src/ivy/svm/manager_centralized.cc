@@ -55,6 +55,7 @@ void CentralizedManager::route_request(net::Message&& msg, PageId page) {
       owner = svm_.table().at(page).prob_owner;
     }
     IVY_CHECK_NE(owner, svm_.self());
+    note_forward(msg, page, owner);
     svm_.rpc().forward(std::move(msg), owner);
     return;
   }
@@ -63,6 +64,7 @@ void CentralizedManager::route_request(net::Message&& msg, PageId page) {
   const NodeId next = svm_.table().at(page).prob_owner;
   IVY_CHECK_NE(next, svm_.self());
   // next may equal msg.origin (stale routing); the origin re-issues.
+  note_forward(msg, page, next);
   svm_.rpc().forward(std::move(msg), next);
 }
 

@@ -15,6 +15,8 @@
 //     "hints point forward in ownership time" invariant that guarantees
 //     chains terminate.
 #include "ivy/svm/manager.h"
+#include "ivy/svm/observer.h"
+#include "ivy/trace/trace.h"
 
 namespace ivy::svm {
 
@@ -40,6 +42,12 @@ void DynamicDistributedManager::route_request(net::Message&& msg,
     grant.write_grant = false;
     grant.body = svm_.snapshot(page);
     svm_.stats().bump(svm_.self(), Counter::kPageTransfers);
+    IVY_EVT(svm_.stats(), record(svm_.self(), trace::EventKind::kPageSent,
+                                 page, msg.origin));
+    if (CoherenceObserver* obs = svm_.observer()) {
+      obs->on_read_served(svm_.self(), page, msg.origin);
+      svm_.notify_content(page, entry.version, /*at_source=*/true);
+    }
     svm_.rpc().reply_to(msg, grant, grant.wire_bytes());
     return;
   }
@@ -51,6 +59,7 @@ void DynamicDistributedManager::route_request(net::Message&& msg,
   if (msg.kind == net::MsgKind::kWriteFault && next != msg.origin) {
     entry.prob_owner = msg.origin;
   }
+  note_forward(msg, page, next);
   svm_.rpc().forward(std::move(msg), next);
 }
 

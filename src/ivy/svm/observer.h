@@ -1,0 +1,96 @@
+// Coherence state-transition observer.
+//
+// The SVM layer reports every protocol-relevant state change — fault
+// life cycle, request routing, grant serving, the two-phase ownership
+// transfer, migration handoff, invalidation rounds, page-body movement —
+// through this interface.  The observer is a *global* entity outside the
+// simulated machines (it sees all nodes at once and costs no virtual
+// time); the coherence oracle (ivy/oracle) implements it to check the
+// protocol invariants online.  A null observer (the default) costs one
+// pointer test per site.
+//
+// All hooks fire *after* the local page-table mutation they describe, so
+// an observer inspecting the tables sees the post-transition state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ivy/svm/page_table.h"
+
+namespace ivy::svm {
+
+class Svm;
+
+class CoherenceObserver {
+ public:
+  virtual ~CoherenceObserver() = default;
+
+  /// A node's Svm came up; called once per node before the run starts.
+  virtual void attach(Svm* svm) = 0;
+
+  // --- fault life cycle (at the faulting node) ---------------------------
+
+  virtual void on_fault_start(NodeId node, PageId page, Access want) = 0;
+  virtual void on_fault_complete(NodeId node, PageId page, Access level) = 0;
+
+  // --- request routing ---------------------------------------------------
+
+  /// `node` forwarded `origin`'s fault request for `page` to `next`.
+  virtual void on_forward(NodeId node, PageId page, NodeId next,
+                          NodeId origin, bool write_fault) = 0;
+
+  // --- grant serving (at the owner / copy holder) ------------------------
+
+  virtual void on_read_served(NodeId server, PageId page, NodeId reader) = 0;
+  /// Write grant sent: `owner` bumped the page to `version` and opened a
+  /// two-phase transfer to `to`.
+  virtual void on_write_served(NodeId owner, PageId page, NodeId to,
+                               std::uint64_t version) = 0;
+
+  // --- two-phase ownership transfer --------------------------------------
+
+  /// `node` accepted a write grant from `from` (now transiently a second
+  /// owner, until `from` receives the ack and releases).
+  virtual void on_ownership_gained(NodeId node, PageId page, NodeId from,
+                                   std::uint64_t version) = 0;
+  /// `node` (the old owner) received the accept ack and relinquished.
+  virtual void on_ownership_released(NodeId node, PageId page, NodeId to,
+                                     std::uint64_t version) = 0;
+  /// `node` (the old owner) received a reject ack and resumed ownership.
+  virtual void on_transfer_aborted(NodeId node, PageId page,
+                                   std::uint64_t version) = 0;
+
+  // --- migration handoff --------------------------------------------------
+
+  /// `node` detached an owned page for direct transfer to `new_owner`
+  /// (the token is in flight: transiently zero owners).
+  virtual void on_page_detached(NodeId node, PageId page, NodeId new_owner,
+                                std::uint64_t version) = 0;
+  virtual void on_page_adopted(NodeId node, PageId page,
+                               std::uint64_t version) = 0;
+
+  // --- invalidation -------------------------------------------------------
+
+  /// `node` started an invalidation round covering `copies` members.
+  virtual void on_invalidate_round(NodeId node, PageId page,
+                                   std::uint64_t version, int copies) = 0;
+  /// All acknowledgements of the round arrived back at `node`.
+  virtual void on_invalidate_round_done(NodeId node, PageId page,
+                                        std::uint64_t version) = 0;
+  /// `node` dropped its copy on receiving an invalidation.
+  virtual void on_copy_dropped(NodeId node, PageId page, NodeId new_owner,
+                               std::uint64_t version) = 0;
+
+  // --- page contents ------------------------------------------------------
+
+  /// Page bytes at a transfer endpoint: `at_source` when `node` ships
+  /// (or holds) the authoritative image at `version`, false when `node`
+  /// installed a received image claiming that version.
+  virtual void on_page_content(NodeId node, PageId page,
+                               std::uint64_t version,
+                               std::span<const std::byte> bytes,
+                               bool at_source) = 0;
+};
+
+}  // namespace ivy::svm

@@ -6,6 +6,7 @@
 
 #include "ivy/base/log.h"
 #include "ivy/svm/manager.h"
+#include "ivy/svm/observer.h"
 #include "ivy/trace/trace.h"
 
 namespace ivy::svm {
@@ -28,6 +29,7 @@ Svm::Svm(sim::Simulator& sim, rpc::RemoteOp& rpc, Stats& stats, NodeId self,
       self_(self),
       nodes_(num_nodes),
       options_(options),
+      observer_(options.observer),
       table_(options.geo, options.initial_owner, self),
       pool_(stats, self, options.geo.page_size, options.frames_per_node,
             options.replacement, options.seed),
@@ -92,7 +94,17 @@ void Svm::request_access(PageId page, Access want,
     begin_disk_restore(page);
     return;
   }
+  if (observer_ != nullptr) observer_->on_fault_start(self_, page, want);
   manager_->start_fault(page, want);
+}
+
+void Svm::notify_content(PageId page, std::uint64_t version, bool at_source) {
+  if (observer_ == nullptr) return;
+  const std::byte* bytes = pool_.lookup(page);
+  if (bytes == nullptr) return;  // never-materialized zero page
+  observer_->on_page_content(
+      self_, page, version,
+      std::span<const std::byte>(bytes, options_.geo.page_size), at_source);
 }
 
 void Svm::read_bytes(SvmAddr addr, std::span<std::byte> out) {
@@ -202,6 +214,7 @@ void Svm::complete_fault(PageId page) {
                                     ? trace::EventKind::kReadFault
                                     : trace::EventKind::kWriteFault,
                                 started, dur, page));
+    if (observer_ != nullptr) observer_->on_fault_complete(self_, page, level);
   }
 
   auto waiters = std::move(entry.local_waiters);
@@ -291,15 +304,22 @@ void Svm::invalidate_copies(PageId page, std::function<void()> done) {
     done();
     return;
   }
+  if (observer_ != nullptr) {
+    observer_->on_invalidate_round(self_, page, entry.version,
+                                   copyset.count());
+  }
   // Wrap the continuation so the full invalidation round (request out to
   // last ack in) is timed, whichever reply scheme runs it.
-  done = [this, page, copies = copyset.count(), start = sim_.now(),
-          done = std::move(done)] {
+  done = [this, page, copies = copyset.count(), version = entry.version,
+          start = sim_.now(), done = std::move(done)] {
     const Time dur = sim_.now() - start;
     stats_.record_latency(self_, Hist::kInvalidateRound, dur);
     IVY_EVT(stats_, record_span(self_, trace::EventKind::kInvalidateSent,
                                 start, dur, page,
                                 static_cast<std::uint64_t>(copies)));
+    if (observer_ != nullptr) {
+      observer_->on_invalidate_round_done(self_, page, version);
+    }
     done();
   };
   const InvalidatePayload payload{page, self_, entry.version};
@@ -344,6 +364,10 @@ void Svm::on_invalidate(net::Message&& msg) {
     pool_.release(payload.page);
     IVY_EVT(stats_, record(self_, trace::EventKind::kInvalidateRecv,
                            payload.page, payload.new_owner));
+    if (observer_ != nullptr) {
+      observer_->on_copy_dropped(self_, payload.page, payload.new_owner,
+                                 payload.version);
+    }
     if (options_.distributed_copysets && !entry.copyset.empty()) {
       // This copy served readers of its own (distributed copysets): the
       // invalidation recurses down the tree; acknowledge upward only
@@ -384,6 +408,10 @@ bool Svm::absorb_grant(const GrantPayload& grant, NodeId from) {
   stats_.bump(self_, Counter::kOwnershipTransfers);
   IVY_EVT(stats_,
           record(self_, trace::EventKind::kOwnershipGained, grant.page, from));
+  if (observer_ != nullptr) {
+    observer_->on_ownership_gained(self_, grant.page, from, grant.version);
+    notify_content(grant.page, grant.version, /*at_source=*/false);
+  }
   if (entry.fault_in_progress) {
     // The adopted ownership satisfies our own outstanding fault: finish
     // it now, or our re-issued request would chase a chain ending here.
@@ -454,10 +482,17 @@ void Svm::on_grant_ack(net::Message&& msg) {
     pool_.release(ack.page);
     disk_.discard(ack.page);
     entry.on_disk = false;
+    if (observer_ != nullptr) {
+      observer_->on_ownership_released(self_, ack.page, it->second.to,
+                                       ack.version);
+    }
   } else {
     // Transfer aborted (receiver found the grant stale): resume
     // ownership; the frame and copyset were never touched.
     entry.access = entry.copyset.empty() ? Access::kWrite : Access::kRead;
+    if (observer_ != nullptr) {
+      observer_->on_transfer_aborted(self_, ack.page, ack.version);
+    }
   }
   pending_transfers_.erase(it);
   rpc_.reply_to(msg, AckPayload{ack.page}, AckPayload::kWireBytes);
@@ -484,6 +519,7 @@ bool Svm::resend_pending_grant(const net::Message& msg) {
   stats_.bump(self_, Counter::kPageTransfers);
   IVY_EVT(stats_, record(self_, trace::EventKind::kPageSent, payload.page,
                          msg.origin));
+  notify_content(payload.page, it->second.version, /*at_source=*/true);
   rpc_.reply_to(msg, grant, grant.wire_bytes());
   return true;
 }
@@ -505,6 +541,7 @@ PageTransfer Svm::detach_page(PageId page, NodeId new_owner, bool with_body) {
       add_pending_charge(sim_.costs().disk_io);
     }
     transfer.body = snapshot(page);
+    notify_content(page, transfer.version, /*at_source=*/true);
   }
   disk_.discard(page);
   pool_.release(page);
@@ -513,6 +550,9 @@ PageTransfer Svm::detach_page(PageId page, NodeId new_owner, bool with_body) {
   entry.on_disk = false;
   entry.copyset.clear();
   entry.prob_owner = new_owner;
+  if (observer_ != nullptr) {
+    observer_->on_page_detached(self_, page, new_owner, transfer.version);
+  }
   return transfer;
 }
 
@@ -531,6 +571,12 @@ void Svm::adopt_page(const PageTransfer& transfer) {
   stats_.bump(self_, Counter::kOwnershipTransfers);
   IVY_EVT(stats_, record(self_, trace::EventKind::kOwnershipGained,
                          transfer.page, kMaxNodes));
+  if (observer_ != nullptr) {
+    observer_->on_page_adopted(self_, transfer.page, transfer.version);
+    if (transfer.body != nullptr) {
+      notify_content(transfer.page, transfer.version, /*at_source=*/false);
+    }
+  }
 }
 
 mem::FramePool::EvictAction Svm::on_evict(PageId page,

@@ -25,6 +25,7 @@
 
 namespace ivy::svm {
 
+class CoherenceObserver;
 class Manager;
 
 enum class ManagerKind : std::uint8_t {
@@ -58,6 +59,9 @@ struct SvmOptions {
   /// the whole node, not just the faulting process.  Disable to model
   /// the integrated scheduler the conclusion asks for.
   bool disk_io_stalls_node = true;
+  /// Global coherence observer (the oracle); null = no observation.
+  /// Outside the simulated machine: hooks cost no virtual time.
+  CoherenceObserver* observer = nullptr;
 };
 
 /// Record used by process migration's direct stack-page handoff
@@ -120,6 +124,15 @@ class Svm {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] Stats& stats() { return stats_; }
   [[nodiscard]] Manager& manager() { return *manager_; }
+  [[nodiscard]] CoherenceObserver* observer() const { return observer_; }
+  /// Whether a two-phase ownership transfer of `page` awaits its ack.
+  [[nodiscard]] bool transfer_pending(PageId page) const {
+    return pending_transfers_.contains(page);
+  }
+  /// Reports this node's current frame image of `page` to the observer
+  /// (no-op without an observer or a resident frame).  `at_source` marks
+  /// the shipping side of a transfer, false the installing side.
+  void notify_content(PageId page, std::uint64_t version, bool at_source);
 
   /// Virtual time cost accrued by protocol activity on behalf of the
   /// local client (evictions, disk restores) since the last drain; the
@@ -227,6 +240,7 @@ class Svm {
   NodeId self_;
   NodeId nodes_;
   SvmOptions options_;
+  CoherenceObserver* observer_;
   PageTable table_;
   mem::FramePool pool_;
   mem::Disk disk_;

@@ -12,9 +12,14 @@ const char* to_string(EventKind kind) {
     case EventKind::kOwnershipGained: return "ownership_gained";
     case EventKind::kOwnershipLost: return "ownership_transfer";
     case EventKind::kPageSent: return "page_sent";
+    case EventKind::kForward: return "forward";
     case EventKind::kMsgSend: return "msg_send";
     case EventKind::kRetransmit: return "retransmit";
     case EventKind::kRemoteOp: return "remote_op";
+    case EventKind::kRpcRequest: return "rpc_request";
+    case EventKind::kRpcReplySent: return "rpc_reply_sent";
+    case EventKind::kRpcOrphan: return "rpc_orphan";
+    case EventKind::kRpcCancel: return "rpc_cancel";
     case EventKind::kDiskRead: return "disk_read";
     case EventKind::kDiskWrite: return "disk_write";
     case EventKind::kEviction: return "eviction";
@@ -54,10 +59,15 @@ Category category_of(EventKind kind) {
     case EventKind::kOwnershipGained:
     case EventKind::kOwnershipLost:
     case EventKind::kPageSent:
+    case EventKind::kForward:
       return Category::kCoherence;
     case EventKind::kMsgSend:
     case EventKind::kRetransmit:
     case EventKind::kRemoteOp:
+    case EventKind::kRpcRequest:
+    case EventKind::kRpcReplySent:
+    case EventKind::kRpcOrphan:
+    case EventKind::kRpcCancel:
       return Category::kNet;
     case EventKind::kDiskRead:
     case EventKind::kDiskWrite:
@@ -87,10 +97,19 @@ const char* arg0_name(EventKind kind) {
     case Category::kSched:
       return "proc";
     case Category::kNet:
-      return kind == EventKind::kRemoteOp || kind == EventKind::kMsgSend ||
-                     kind == EventKind::kRetransmit
-                 ? "msg_kind"
-                 : "arg0";
+      switch (kind) {
+        case EventKind::kRemoteOp:
+        case EventKind::kMsgSend:
+        case EventKind::kRetransmit:
+          return "msg_kind";
+        case EventKind::kRpcRequest:
+        case EventKind::kRpcReplySent:
+        case EventKind::kRpcOrphan:
+        case EventKind::kRpcCancel:
+          return "rpc_id";
+        default:
+          return "arg0";
+      }
     case Category::kCount: break;
   }
   return "arg0";
@@ -103,9 +122,13 @@ const char* arg1_name(EventKind kind) {
     case EventKind::kOwnershipGained: return "from";
     case EventKind::kOwnershipLost: return "to";
     case EventKind::kPageSent: return "to";
+    case EventKind::kForward: return "origin";
     case EventKind::kMsgSend: return "dst";
     case EventKind::kRetransmit: return "dst";
     case EventKind::kRemoteOp: return "dst";
+    case EventKind::kRpcRequest: return "dst";
+    case EventKind::kRpcReplySent: return "requester";
+    case EventKind::kRpcOrphan: return "server";
     case EventKind::kMigrateOut: return "to";
     case EventKind::kMigrateIn: return "from";
     case EventKind::kEcAdvance: return "value";

@@ -50,10 +50,18 @@ enum class EventKind : std::uint8_t {
   kOwnershipGained,  ///< instant: this node became owner (arg1 = from)
   kOwnershipLost,    ///< span: two-phase transfer hold (arg1 = to)
   kPageSent,         ///< instant: page body shipped (arg1 = to)
+  kForward,          ///< instant: fault request routed onward (arg1 = origin)
   // net (arg0 = net::MsgKind, arg1 = dst, kBroadcast for broadcast)
   kMsgSend,          ///< span: frame occupies the ring medium
   kRetransmit,       ///< instant: client re-sent an unanswered request
   kRemoteOp,         ///< span: rpc request -> (last) reply at the client
+  // rpc causality (arg0 = rpc id)
+  kRpcRequest,       ///< instant: client issued a request (arg1 = dst)
+  kRpcReplySent,     ///< instant: server sent a reply (arg1 = requester)
+  kRpcOrphan,        ///< instant: reply matched no outstanding request
+                     ///  (arg1 = replying server)
+  kRpcCancel,        ///< instant: client abandoned an outstanding request
+                     ///  (a bounced fault retried another way)
   // disk / frames (arg0 = page)
   kDiskRead,         ///< span: page-in
   kDiskWrite,        ///< span: page-out

@@ -1,0 +1,224 @@
+// ivy-analyze round trip: run a traced workload, export the artifacts,
+// read them back through the analyzer, and require (a) the trace-derived
+// counts to reproduce the live counters, (b) a clean rpc causality
+// audit, (c) sensible critical-path/contention/chain reports, and (d) a
+// byte-identical report on re-analysis.  A hand-written golden trace
+// pins the anomaly detection itself.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ivy/ivy.h"
+#include "ivy/trace/analyze.h"
+
+namespace ivy::trace {
+namespace {
+
+struct Artifacts {
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+/// A small sharing-heavy run (quickstart's shape: partitioned writes,
+/// then one node reduces everything) with full tracing on.  No memory
+/// pressure, no migration, no broadcast — the configuration under which
+/// every cross-check row is exact.
+Artifacts run_traced_workload() {
+  Config cfg;
+  cfg.nodes = 4;
+  cfg.heap_pages = 256;
+  cfg.stack_region_pages = 64;
+  cfg.name = "analyze_test";
+  cfg.trace_enabled = true;
+  cfg.trace_capacity = 1 << 18;
+  cfg.oracle_mode = oracle::Mode::kStrict;  // and keep the run honest
+  Runtime rt(cfg);
+
+  constexpr std::size_t kElems = 2048;
+  auto data = rt.alloc_array<std::int64_t>(kElems);
+  auto barrier = rt.create_barrier(4);
+  auto total = rt.alloc_scalar<std::int64_t>();
+  for (int p = 0; p < 4; ++p) {
+    rt.spawn_on(static_cast<NodeId>(p), [=]() mutable {
+      const std::size_t chunk = kElems / 4;
+      const std::size_t begin = static_cast<std::size_t>(p) * chunk;
+      for (std::size_t i = begin; i < begin + chunk; ++i) {
+        data[i] = static_cast<std::int64_t>(i);
+      }
+      barrier.arrive(0);
+      if (p == 0) {
+        std::int64_t sum = 0;
+        for (std::size_t i = 0; i < kElems; ++i) sum += data[i];
+        total.set(sum);
+      }
+    });
+  }
+  const Time elapsed = rt.run();
+
+  Artifacts a;
+  a.trace_path = testing::TempDir() + "ivy_analyze_test_trace.json";
+  a.metrics_path = testing::TempDir() + "ivy_analyze_test_metrics.json";
+  EXPECT_TRUE(rt.write_trace(a.trace_path));
+  EXPECT_TRUE(rt.write_metrics(a.metrics_path, elapsed));
+  return a;
+}
+
+class AnalyzeRoundTrip : public testing::Test {
+ protected:
+  void SetUp() override {
+    const Artifacts a = run_traced_workload();
+    std::string error;
+    ASSERT_TRUE(load_chrome_trace(a.trace_path, &trace_, &error)) << error;
+    ASSERT_TRUE(load_metrics_json(a.metrics_path, &metrics_, &error))
+        << error;
+  }
+
+  LoadedTrace trace_;
+  MetricsSummary metrics_;
+};
+
+TEST_F(AnalyzeRoundTrip, LoadsEveryExportedEvent) {
+  EXPECT_EQ(trace_.machine, "analyze_test");  // cfg.name, " node N" cut
+  EXPECT_EQ(trace_.unknown_names, 0u);
+  ASSERT_TRUE(metrics_.has_trace_block);
+  EXPECT_EQ(metrics_.trace_dropped, 0u);
+  EXPECT_EQ(trace_.events.size(), metrics_.trace_retained);
+  // Events come back time-ordered.
+  for (std::size_t i = 1; i < trace_.events.size(); ++i) {
+    EXPECT_LE(trace_.events[i - 1].ts, trace_.events[i].ts);
+  }
+}
+
+TEST_F(AnalyzeRoundTrip, CrossCheckReproducesLiveCounters) {
+  const auto rows = cross_check(trace_, metrics_);
+  ASSERT_FALSE(rows.empty());
+  std::size_t asserted = 0;
+  for (const CrossCheckRow& row : rows) {
+    if (!row.checked) continue;
+    ++asserted;
+    EXPECT_TRUE(row.ok) << row.counter << ": metrics=" << row.from_metrics
+                        << " trace=" << row.from_trace << " (" << row.note
+                        << ")";
+  }
+  // This run has no paging/migrations/broadcasts, so every row asserts.
+  EXPECT_EQ(asserted, rows.size());
+}
+
+TEST_F(AnalyzeRoundTrip, CausalityAuditIsClean) {
+  const CausalityReport rpc = causality_audit(trace_, true);
+  EXPECT_GT(rpc.requests, 0u);
+  EXPECT_GT(rpc.replies, 0u);
+  EXPECT_EQ(rpc.unanswered, 0u);
+  EXPECT_EQ(rpc.unmatched_replies, 0u);
+  EXPECT_EQ(rpc.orphan_events, 0u);
+  EXPECT_TRUE(rpc.flagged.empty())
+      << "first flag: " << rpc.flagged.front();
+}
+
+TEST_F(AnalyzeRoundTrip, CriticalPathDecomposesFaults) {
+  const CriticalPathReport cp = critical_path(trace_, 5);
+  // The reduce phase pulls every page to node 0: remote read faults.
+  EXPECT_GT(cp.reads.count + cp.writes.count, 0u);
+  EXPECT_FALSE(cp.slowest.empty());
+  for (const FaultPath& f : cp.slowest) {
+    EXPECT_GE(f.total, f.locate + f.transfer);
+  }
+  // Leg sums never exceed the span they decompose.
+  EXPECT_GE(cp.writes.total,
+            cp.writes.locate + cp.writes.transfer + cp.writes.invalidate);
+}
+
+TEST_F(AnalyzeRoundTrip, ContentionFindsActivePages) {
+  const auto pages = contention(trace_, 10);
+  ASSERT_FALSE(pages.empty());
+  EXPECT_GT(pages.front().faults + pages.front().ownership_moves, 0u);
+  // Ranked by activity, and each row carries a timeline sparkline.
+  for (std::size_t i = 1; i < pages.size(); ++i) {
+    const auto score = [](const PageContention& c) {
+      return c.faults + c.invalidation_rounds + c.ownership_moves;
+    };
+    EXPECT_GE(score(pages[i - 1]), score(pages[i]));
+  }
+  EXPECT_FALSE(pages.front().timeline.empty());
+}
+
+TEST_F(AnalyzeRoundTrip, ChainLengthsMatchFaultCount) {
+  const ChainLengths chains = chain_lengths(trace_);
+  const CriticalPathReport cp = critical_path(trace_, 1);
+  EXPECT_EQ(chains.faults, cp.reads.count + cp.writes.count);
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t b : chains.hops) bucketed += b;
+  EXPECT_EQ(bucketed, chains.faults);
+}
+
+TEST_F(AnalyzeRoundTrip, ReportIsDeterministic) {
+  const std::string once = render_report(trace_, &metrics_, 10);
+  const std::string twice = render_report(trace_, &metrics_, 10);
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(once.find("fault critical path"), std::string::npos);
+  EXPECT_NE(once.find("page contention"), std::string::npos);
+  EXPECT_NE(once.find("rpc causality"), std::string::npos);
+  EXPECT_NE(once.find("trace vs counters"), std::string::npos);
+  EXPECT_EQ(once.find("MISMATCH"), std::string::npos) << once;
+}
+
+// --- golden anomaly detection ---------------------------------------------
+
+/// A tiny hand-written trace: one answered rpc, one unanswered rpc, one
+/// cancelled rpc (abandoned, not an anomaly), one reply to an id never
+/// requested, and one orphan marker.
+constexpr const char* kGoldenTrace = R"({"traceEvents":[
+{"ph":"M","pid":0,"name":"process_name","args":{"name":"ivy node 0"}},
+{"ph":"i","pid":0,"tid":0,"ts":1.000,"name":"rpc_request","s":"t",
+ "args":{"rpc_id":101,"dst":1}},
+{"ph":"i","pid":1,"tid":0,"ts":2.000,"name":"rpc_reply_sent","s":"t",
+ "args":{"rpc_id":101,"requester":0}},
+{"ph":"i","pid":0,"tid":0,"ts":3.000,"name":"rpc_request","s":"t",
+ "args":{"rpc_id":102,"dst":2}},
+{"ph":"i","pid":1,"tid":0,"ts":3.200,"name":"rpc_request","s":"t",
+ "args":{"rpc_id":103,"dst":2}},
+{"ph":"i","pid":1,"tid":0,"ts":3.400,"name":"rpc_cancel","s":"t",
+ "args":{"rpc_id":103}},
+{"ph":"i","pid":2,"tid":0,"ts":4.000,"name":"rpc_reply_sent","s":"t",
+ "args":{"rpc_id":999,"requester":3}},
+{"ph":"i","pid":3,"tid":0,"ts":5.000,"name":"rpc_orphan","s":"t",
+ "args":{"rpc_id":998,"server":2}}
+]})";
+
+TEST(AnalyzeGolden, FlagsBrokenCausality) {
+  const std::string path = testing::TempDir() + "ivy_analyze_golden.json";
+  {
+    std::ofstream out(path);
+    out << kGoldenTrace;
+  }
+  LoadedTrace trace;
+  std::string error;
+  ASSERT_TRUE(load_chrome_trace(path, &trace, &error)) << error;
+  EXPECT_EQ(trace.machine, "ivy");
+  EXPECT_EQ(trace.events.size(), 7u);
+
+  const CausalityReport rpc = causality_audit(trace, true);
+  EXPECT_EQ(rpc.requests, 3u);
+  EXPECT_EQ(rpc.replies, 2u);
+  EXPECT_EQ(rpc.cancelled, 1u);
+  EXPECT_EQ(rpc.unanswered, 1u);
+  EXPECT_EQ(rpc.unmatched_replies, 1u);
+  EXPECT_EQ(rpc.orphan_events, 1u);
+  EXPECT_FALSE(rpc.flagged.empty());
+}
+
+TEST(AnalyzeGolden, RejectsMalformedJson) {
+  const std::string path = testing::TempDir() + "ivy_analyze_bad.json";
+  {
+    std::ofstream out(path);
+    out << "{\"traceEvents\": [";
+  }
+  LoadedTrace trace;
+  std::string error;
+  EXPECT_FALSE(load_chrome_trace(path, &trace, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace ivy::trace

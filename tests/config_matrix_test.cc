@@ -33,6 +33,9 @@ class ConfigMatrix : public testing::TestWithParam<Knobs> {
     cfg.broadcast_invalidation = k.broadcast_invalidation;
     cfg.frames_per_node = k.frames;
     cfg.replacement = k.replacement;
+    // Every matrix point runs under the strict coherence oracle: any
+    // copyset/ownership drift aborts the test with event context.
+    cfg.oracle_mode = oracle::Mode::kStrict;
     if (k.system_scheduling) {
       cfg.sched.load_balancing = true;
       cfg.sched.lower_threshold = 1;

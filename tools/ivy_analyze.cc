@@ -1,0 +1,99 @@
+// ivy-analyze — post-mortem inspection of exported trace/metrics JSON.
+//
+// Usage:
+//   ivy-analyze <trace.json> [metrics.json] [--top N] [--check]
+//
+// Reads the Chrome trace written by --trace-out and (optionally) the
+// metrics JSON written by --metrics-out, and prints:
+//   * per-fault critical-path breakdown (locate / transfer / invalidate /
+//     resume legs, plus the slowest individual faults),
+//   * per-page contention with ping-pong counts and activity timelines,
+//   * forwarding-chain-length histogram,
+//   * rpc causality audit (every reply matched to a request),
+//   * trace-derived counts cross-checked against the live counters.
+//
+// With --check the exit status reflects the audit: 1 when a cross-check
+// row mismatches or the causality audit flags an anomaly on a complete
+// window, 0 otherwise.  Parse failures exit 2.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ivy/trace/analyze.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.json> [metrics.json] [--top N] [--check]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  std::size_t top_n = 10;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(arg, "--top") == 0 && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strncmp(arg, "--top=", 6) == 0) {
+      top_n = static_cast<std::size_t>(std::strtoull(arg + 6, nullptr, 10));
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else if (metrics_path.empty()) {
+      metrics_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (trace_path.empty()) return usage(argv[0]);
+
+  std::string error;
+  ivy::trace::LoadedTrace trace;
+  if (!ivy::trace::load_chrome_trace(trace_path, &trace, &error)) {
+    std::fprintf(stderr, "ivy-analyze: %s\n", error.c_str());
+    return 2;
+  }
+  ivy::trace::MetricsSummary metrics;
+  bool have_metrics = false;
+  if (!metrics_path.empty()) {
+    if (!ivy::trace::load_metrics_json(metrics_path, &metrics, &error)) {
+      std::fprintf(stderr, "ivy-analyze: %s\n", error.c_str());
+      return 2;
+    }
+    have_metrics = true;
+  }
+
+  const std::string report = ivy::trace::render_report(
+      trace, have_metrics ? &metrics : nullptr, top_n);
+  std::fputs(report.c_str(), stdout);
+
+  if (check) {
+    bool failed = false;
+    const bool window_complete =
+        !have_metrics || metrics.trace_dropped == 0;
+    const auto causality =
+        ivy::trace::causality_audit(trace, window_complete);
+    if (window_complete && !causality.flagged.empty()) failed = true;
+    if (have_metrics) {
+      for (const auto& row : ivy::trace::cross_check(trace, metrics)) {
+        if (row.checked && !row.ok) failed = true;
+      }
+    }
+    if (failed) {
+      std::fprintf(stderr, "ivy-analyze: audit FAILED\n");
+      return 1;
+    }
+  }
+  return 0;
+}
