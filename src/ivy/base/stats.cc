@@ -17,6 +17,13 @@ const std::array<const char*, kCounterCount>& counter_names() {
       "messages",
       "bytes_on_ring",
       "retransmissions",
+      "rpc_backoffs",
+      "rpc_failures",
+      "grant_reoffers",
+      "faults_injected",
+      "checksum_drops",
+      "done_cache_evictions",
+      "dup_reexecutions",
       "disk_reads",
       "disk_writes",
       "evictions",

@@ -35,6 +35,13 @@ enum class Counter : std::size_t {
   kMessages,            ///< point-to-point protocol messages delivered
   kBytesOnRing,         ///< modeled bytes transmitted on the ring
   kRetransmissions,     ///< request retransmissions (drop recovery)
+  kRpcBackoffs,         ///< retransmissions sent with exponential backoff
+  kRpcFailures,         ///< requests failed terminally (retransmit cap hit)
+  kGrantReoffers,       ///< unacked ownership grants re-offered by the old owner
+  kFaultsInjected,      ///< frames the fault plane dropped/dup'd/delayed/corrupted
+  kChecksumDrops,       ///< frames discarded by receiver checksum verify
+  kDoneCacheEvictions,  ///< cached replies evicted from the rpc done-cache
+  kDupReexecutions,     ///< duplicate requests re-executed after eviction
   kDiskReads,           ///< page-in operations from the simulated disk
   kDiskWrites,          ///< page-out operations to the simulated disk
   kEvictions,           ///< frames reclaimed by LRU replacement

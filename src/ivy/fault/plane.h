@@ -1,0 +1,51 @@
+// ivy::fault — the deterministic fault plane.
+//
+// FaultPlane sits between net::Ring and delivery (via net::FaultHook):
+// for every (frame, recipient) pair the ring asks for a delivery plan,
+// and the plane rolls its own seeded RNG stream against the configured
+// FaultSpec rules.  Faults are therefore a pure function of
+// (spec, fault seed, traffic), independent of every other RNG in the
+// system: the same run with the same --fault/--fault-seed reproduces the
+// same losses, and a run with no spec installs no plane and draws
+// nothing, keeping zero-fault runs bit-identical to pre-fault builds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "ivy/base/rng.h"
+#include "ivy/base/stats.h"
+#include "ivy/fault/spec.h"
+#include "ivy/net/ring.h"
+
+namespace ivy::fault {
+
+class FaultPlane : public net::FaultHook {
+ public:
+  /// `clock` supplies virtual time for window matching and trace stamps
+  /// (the runtime wires it to Simulator::now).  `stats` is where injected
+  /// faults are accounted (Counter::kFaultsInjected at the sender, plus a
+  /// kFaultInjected trace event per perturbation).
+  FaultPlane(FaultSpec spec, std::uint64_t seed, Stats& stats,
+             std::function<Time()> clock);
+
+  Plan plan_delivery(const net::Message& msg, NodeId recipient) override;
+
+  /// Total injections of one fault type (for tests and reports).
+  [[nodiscard]] std::uint64_t injected(FaultType type) const {
+    return injected_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+ private:
+  void account(const net::Message& msg, FaultType type);
+
+  FaultSpec spec_;
+  Rng rng_;
+  Stats& stats_;
+  std::function<Time()> clock_;
+  std::array<std::uint64_t, kFaultTypeCount> injected_{};
+};
+
+}  // namespace ivy::fault

@@ -17,6 +17,7 @@ const char* to_string(MsgKind kind) {
     case MsgKind::kInvalidate: return "invalidate";
     case MsgKind::kInvalidateBcast: return "invalidate_bcast";
     case MsgKind::kGrantAck: return "grant_ack";
+    case MsgKind::kGrantPush: return "grant_push";
     case MsgKind::kPageOut: return "page_out";
     case MsgKind::kMigrateAsk: return "migrate_ask";
     case MsgKind::kMigrateMove: return "migrate_move";
@@ -71,21 +72,56 @@ void Ring::send(Message msg) {
     return;  // frame lost after occupying the medium
   }
 
+  seal_message(msg);
   if (broadcast) {
     // The frame circulates the ring; every other station copies it.
+    // Ring time was charged exactly once above: per-recipient fault
+    // decisions change who receives the frame, never what it cost.
     for (NodeId n = 0; n < handlers_.size(); ++n) {
       if (n == msg.src) continue;
-      deliver_at(arrival, n, msg);  // payload copied per recipient
+      if (fault_hook_ != nullptr) {
+        deliver_planned(arrival, n, msg);
+      } else {
+        deliver_at(arrival, n, msg);  // payload copied per recipient
+      }
     }
+  } else if (fault_hook_ != nullptr) {
+    deliver_planned(arrival, msg.dst, msg);
   } else {
     deliver_at(arrival, msg.dst, std::move(msg));
   }
+}
+
+void Ring::deliver_planned(Time arrival, NodeId dst, const Message& msg) {
+  const FaultHook::Plan plan = fault_hook_->plan_delivery(msg, dst);
+  if (plan.drop) {
+    IVY_DEBUG() << "fault drop " << to_string(msg.kind) << " " << msg.src
+                << "->" << dst;
+    return;  // lost after occupying the medium, like a real dropped frame
+  }
+  Message copy = msg;
+  if (plan.corrupt) copy.checksum = ~copy.checksum;  // damaged in flight
+  if (plan.duplicate) {
+    deliver_at(arrival + plan.extra_delay + plan.duplicate_delay, dst, copy);
+  }
+  deliver_at(arrival + plan.extra_delay, dst, std::move(copy));
 }
 
 void Ring::deliver_at(Time when, NodeId dst, Message msg) {
   msg.dst = dst;
   sim_.schedule_at(when, [this, dst, m = std::move(msg)]() mutable {
     IVY_CHECK_MSG(handlers_[dst] != nullptr, "no handler for node " << dst);
+    if (!message_intact(m)) {
+      // Bad frame check sequence: the station discards the frame, so
+      // corruption degrades to loss and the retransmission protocol
+      // recovers.  Charged to the receiver, where the check runs.
+      stats_.bump(dst, Counter::kChecksumDrops);
+      IVY_EVT(stats_, record(dst, trace::EventKind::kMsgCorrupted,
+                             static_cast<std::uint64_t>(m.kind), m.src));
+      IVY_DEBUG() << "checksum drop " << to_string(m.kind) << " " << m.src
+                  << "->" << dst;
+      return;
+    }
     IVY_TRACE() << "deliver " << to_string(m.kind) << " " << m.src << "->"
                 << dst << " rpc=" << m.rpc_id;
     handlers_[dst](std::move(m));

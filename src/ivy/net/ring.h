@@ -11,6 +11,10 @@
 //
 // For retransmission-protocol tests, an injectable drop hook may discard
 // any message after it consumed ring time (as a real lost frame would).
+// The richer FaultHook interface (implemented by ivy::fault::FaultPlane)
+// plans a per-recipient delivery outcome: drop, duplicate, extra delay
+// (reordering), or bit corruption; the ring applies the mechanics and
+// verifies the frame checksum at delivery.
 #pragma once
 
 #include <functional>
@@ -21,6 +25,25 @@
 #include "ivy/sim/simulator.h"
 
 namespace ivy::net {
+
+/// Delivery-plan provider consulted once per (frame, recipient) after the
+/// frame occupied the ring medium.  The ring applies the plan's
+/// mechanics; the hook owns the policy (probabilities, windows, node
+/// pairs) and any accounting of what it injected.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  struct Plan {
+    bool drop = false;       ///< frame lost for this recipient
+    bool corrupt = false;    ///< checksum damaged; receiver verify drops it
+    bool duplicate = false;  ///< a second copy arrives duplicate_delay later
+    Time extra_delay = 0;    ///< added to the arrival (reorders traffic)
+    Time duplicate_delay = 0;
+  };
+
+  virtual Plan plan_delivery(const Message& msg, NodeId recipient) = 0;
+};
 
 class Ring {
  public:
@@ -41,6 +64,11 @@ class Ring {
 
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// Installs (or clears, with nullptr) the fault plane.  Not owned.
+  /// With no hook installed, send() takes exactly the pre-fault-plane
+  /// path: zero extra draws, zero behavior change.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
   [[nodiscard]] NodeId nodes() const {
     return static_cast<NodeId>(handlers_.size());
   }
@@ -48,11 +76,13 @@ class Ring {
 
  private:
   void deliver_at(Time when, NodeId dst, Message msg);
+  void deliver_planned(Time arrival, NodeId dst, const Message& msg);
 
   sim::Simulator& sim_;
   Stats& stats_;
   std::vector<Handler> handlers_;
   DropHook drop_hook_;
+  FaultHook* fault_hook_ = nullptr;
   Time busy_until_ = 0;
 };
 

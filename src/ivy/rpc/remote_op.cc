@@ -9,11 +9,25 @@
 
 namespace ivy::rpc {
 
+namespace {
+
+/// Absolute ceiling on the backoff wait: keeps recovery after a long
+/// partition bounded instead of letting waits double without end.
+constexpr Time kBackoffCap = sec(4);
+
+/// Bound on the duplicate-reply suppression set (mirrors the done-cache
+/// philosophy: bounded memory, graceful degradation to the orphan path).
+constexpr std::size_t kRepliedCacheCapacity = 4096;
+
+}  // namespace
+
 RemoteOp::RemoteOp(sim::Simulator& sim, net::Ring& ring, Stats& stats,
                    NodeId self)
     : sim_(sim), ring_(ring), stats_(stats), self_(self),
       // rpc ids are globally unique: node id in the top bits.
-      next_rpc_id_((static_cast<std::uint64_t>(self) << 40) + 1) {
+      next_rpc_id_((static_cast<std::uint64_t>(self) << 40) + 1),
+      // Per-node jitter stream; only retransmissions draw from it.
+      backoff_rng_(0xb0ff'0000'0000ULL ^ (static_cast<std::uint64_t>(self))) {
   ring_.set_handler(self, [this](net::Message&& msg) {
     on_message(std::move(msg));
   });
@@ -21,7 +35,8 @@ RemoteOp::RemoteOp(sim::Simulator& sim, net::Ring& ring, Stats& stats,
 
 std::uint64_t RemoteOp::request(NodeId dst, net::MsgKind kind,
                                 std::any payload, std::uint32_t wire_bytes,
-                                ReplyCallback on_reply, Time timeout) {
+                                ReplyCallback on_reply, Time timeout,
+                                FailureCallback on_fail) {
   IVY_CHECK(on_reply != nullptr);
   IVY_CHECK_NE(dst, self_);
   net::Message msg;
@@ -36,6 +51,7 @@ std::uint64_t RemoteOp::request(NodeId dst, net::MsgKind kind,
   Outstanding out;
   out.original = msg;
   out.on_reply = std::move(on_reply);
+  out.on_fail = std::move(on_fail);
   out.expected_replies = 1;
   out.first_sent = sim_.now();
   out.last_sent = out.first_sent;
@@ -51,7 +67,8 @@ std::uint64_t RemoteOp::request(NodeId dst, net::MsgKind kind,
 std::uint64_t RemoteOp::broadcast(net::MsgKind kind, std::any payload,
                                   std::uint32_t wire_bytes, BcastReply scheme,
                                   ReplyCallback on_first,
-                                  AllRepliesCallback on_all, Time timeout) {
+                                  AllRepliesCallback on_all, Time timeout,
+                                  FailureCallback on_fail) {
   net::Message msg;
   msg.src = self_;
   msg.dst = kBroadcast;
@@ -72,6 +89,7 @@ std::uint64_t RemoteOp::broadcast(net::MsgKind kind, std::any payload,
       Outstanding out;
       out.original = msg;
       out.on_reply = std::move(on_first);
+      out.on_fail = std::move(on_fail);
       out.expected_replies = 1;
       out.first_sent = sim_.now();
       out.last_sent = out.first_sent;
@@ -85,9 +103,11 @@ std::uint64_t RemoteOp::broadcast(net::MsgKind kind, std::any payload,
       Outstanding out;
       out.original = msg;
       out.on_all = std::move(on_all);
+      out.on_fail = std::move(on_fail);
       out.expected_replies = ring_.nodes() - 1;
       out.first_sent = sim_.now();
       out.last_sent = out.first_sent;
+      out.timeout = timeout;
       outstanding_.emplace(id, std::move(out));
       break;
     }
@@ -117,7 +137,7 @@ void RemoteOp::reply(const PendingReply& pending, std::any payload,
   // re-executing the operation ("resend replies only when necessary").
   done_cache_.push_back(DoneEntry{key, payload, wire_bytes, pending.kind,
                                   pending.origin});
-  if (done_cache_.size() > kDoneCacheCapacity) done_cache_.pop_front();
+  while (done_cache_.size() > done_cache_capacity_) evict_done_front();
 
   net::Message msg;
   msg.src = self_;
@@ -135,6 +155,24 @@ void RemoteOp::reply(const PendingReply& pending, std::any payload,
                       [this, m = std::move(msg)]() mutable {
                         transmit(std::move(m));
                       });
+}
+
+void RemoteOp::evict_done_front() {
+  const DoneEntry& old = done_cache_.front();
+  // Remember the highest evicted rpc id per origin: a duplicate at or
+  // below the watermark may silently re-execute (see the idempotence
+  // contract in the header).
+  const std::uint64_t rpc =
+      old.key ^ (static_cast<std::uint64_t>(old.origin) << 48);
+  std::uint64_t& wm = evicted_watermark_[old.origin];
+  wm = std::max(wm, rpc);
+  stats_.bump(self_, Counter::kDoneCacheEvictions);
+  done_cache_.pop_front();
+}
+
+void RemoteOp::set_done_cache_capacity(std::size_t capacity) {
+  done_cache_capacity_ = capacity;
+  while (done_cache_.size() > done_cache_capacity_) evict_done_front();
 }
 
 void RemoteOp::ignore(const net::Message& req) {
@@ -179,8 +217,17 @@ void RemoteOp::set_orphan_reply_handler(net::MsgKind kind,
 }
 
 void RemoteOp::handle_reply(net::Message&& msg) {
+  const std::uint64_t rkey = reply_key(msg.src, msg.rpc_id);
+  if (replied_.contains(rkey)) {
+    // Exact duplicate (fault-injected duplication, or a cached resend
+    // crossing the first copy) of a reply this node already processed.
+    // Acting on it again could contradict the first decision — e.g. the
+    // orphan absorber re-judging a grant it already acked.
+    return;
+  }
   auto it = outstanding_.find(msg.rpc_id);
   if (it == outstanding_.end()) {
+    note_replied(rkey);
     IVY_EVT(stats_, record(self_, trace::EventKind::kRpcOrphan, msg.rpc_id,
                            msg.src));
     // Late duplicate.  Give resource-bearing replies a chance to be
@@ -202,6 +249,7 @@ void RemoteOp::handle_reply(net::Message&& msg) {
         out.replies.begin(), out.replies.end(),
         [&](const net::Message& m) { return m.src == msg.src; });
     if (seen) return;
+    note_replied(rkey);
     out.replies.push_back(std::move(msg));
     if (out.replies.size() < out.expected_replies) return;
     auto cb = std::move(out.on_all);
@@ -211,11 +259,21 @@ void RemoteOp::handle_reply(net::Message&& msg) {
     cb(std::move(replies));
     return;
   }
+  note_replied(rkey);
   const NodeId server = msg.src;
   auto cb = std::move(out.on_reply);
   outstanding_.erase(it);
   record_round_trip(kind_arg, first_sent, server);
   cb(std::move(msg));
+}
+
+void RemoteOp::note_replied(std::uint64_t key) {
+  replied_.insert(key);
+  replied_order_.push_back(key);
+  if (replied_order_.size() > kRepliedCacheCapacity) {
+    replied_.erase(replied_order_.front());
+    replied_order_.pop_front();
+  }
 }
 
 void RemoteOp::record_round_trip(std::uint64_t kind_arg, Time first_sent,
@@ -250,6 +308,14 @@ void RemoteOp::handle_request(net::Message&& msg) {
   // Still being served?  The reply is on its way; drop the duplicate.
   if (!in_progress_.emplace(key, true).second) return;
 
+  // Heuristic re-execution detector: rpc ids are per-origin monotone, so
+  // a "new" request at or below the origin's eviction watermark is old
+  // enough to be a duplicate whose cached reply was evicted.
+  if (auto wm = evicted_watermark_.find(msg.origin);
+      wm != evicted_watermark_.end() && msg.rpc_id <= wm->second) {
+    stats_.bump(self_, Counter::kDupReexecutions);
+  }
+
   auto it = handlers_.find(msg.kind);
   IVY_CHECK_MSG(it != handlers_.end(),
                 "node " << self_ << " has no handler for "
@@ -269,20 +335,85 @@ void RemoteOp::arm_retransmit_timer() {
 
 void RemoteOp::retransmit_scan() {
   const Time now = sim_.now();
+  std::vector<std::uint64_t> failed;
   for (auto& [id, out] : outstanding_) {
-    const Time timeout = out.timeout != 0 ? out.timeout : request_timeout_;
-    if (now - out.last_sent < timeout) continue;
+    const Time base = out.timeout != 0 ? out.timeout : request_timeout_;
+    // First retransmit fires at the base timeout; later ones wait the
+    // backed-off (jittered) interval computed after the previous send.
+    const Time wait = out.backoff_wait != 0 ? out.backoff_wait : base;
+    if (now - out.last_sent < wait) continue;
+    if (out.retransmits >= max_retransmits_) {
+      failed.push_back(id);
+      continue;
+    }
+    ++out.retransmits;
     IVY_DEBUG() << "node " << self_ << " retransmits rpc " << id << " ("
-                << net::to_string(out.original.kind) << ")";
+                << net::to_string(out.original.kind) << ") attempt "
+                << out.retransmits;
     stats_.bump(self_, Counter::kRetransmissions);
     IVY_EVT(stats_,
             record(self_, trace::EventKind::kRetransmit,
                    static_cast<std::uint64_t>(out.original.kind),
                    out.original.dst == kBroadcast ? kMaxNodes
                                                   : out.original.dst));
+    if (out.retransmits >= 2) {
+      stats_.bump(self_, Counter::kRpcBackoffs);
+      IVY_EVT(stats_, record(self_, trace::EventKind::kRpcBackoff, id,
+                             out.retransmits));
+    }
+    out.backoff_wait = next_backoff(wait);
     out.last_sent = now;
     transmit(out.original);  // copy; payload shared_ptr bodies stay cheap
   }
+  // Failures are surfaced after the scan: the callbacks may issue new
+  // requests, which would invalidate the iteration above.
+  for (const std::uint64_t id : failed) {
+    auto it = outstanding_.find(id);
+    if (it == outstanding_.end()) continue;
+    Outstanding out = std::move(it->second);
+    outstanding_.erase(it);
+    fail_request(id, std::move(out));
+  }
+}
+
+Time RemoteOp::next_backoff(Time prev) {
+  const Time doubled = prev >= kBackoffCap / 2 ? kBackoffCap : prev * 2;
+  // +-25% jitter, deterministic per node: spreads retransmissions of
+  // nodes that lost frames in the same window.
+  const Time quarter = std::max<Time>(doubled / 4, 1);
+  return doubled - quarter +
+         static_cast<Time>(
+             backoff_rng_.below(static_cast<std::uint64_t>(2 * quarter)));
+}
+
+void RemoteOp::fail_request(std::uint64_t id, Outstanding&& out) {
+  stats_.bump(self_, Counter::kRpcFailures);
+  IVY_EVT(stats_, record(self_, trace::EventKind::kRpcFailed, id,
+                         out.original.dst == kBroadcast ? kMaxNodes
+                                                        : out.original.dst));
+  RequestFailure failure;
+  failure.rpc_id = id;
+  failure.kind = out.original.kind;
+  failure.dst = out.original.dst;
+  failure.attempts = out.retransmits + 1;  // the original send counts
+  failure.first_sent = out.first_sent;
+  IVY_WARN() << "node " << self_ << " rpc " << id << " ("
+             << net::to_string(failure.kind) << " -> "
+             << (failure.dst == kBroadcast ? -1
+                                           : static_cast<int>(failure.dst))
+             << ") failed after " << failure.attempts << " attempts";
+  if (out.on_fail) {
+    out.on_fail(failure);
+    return;
+  }
+  if (failure_handler_) {
+    failure_handler_(failure);
+    return;
+  }
+  IVY_CHECK_MSG(false, "node " << self_ << " rpc " << id << " ("
+                               << net::to_string(failure.kind)
+                               << ") exhausted its retransmission budget "
+                                  "with no failure handler installed");
 }
 
 }  // namespace ivy::rpc

@@ -13,7 +13,19 @@
 //     necessary": servers remember completed requests and repeat the
 //     cached reply if a duplicate request arrives; clients retransmit
 //     unanswered requests from a half-second periodic check, mirroring
-//     the null-process checking in the paper.
+//     the null-process checking in the paper.  Retransmissions back off
+//     exponentially (with deterministic jitter) and give up after a cap,
+//     surfacing a terminal RequestFailure instead of retrying forever.
+//
+// Idempotence contract: the done-cache that suppresses duplicate
+// execution is *bounded* (see set_done_cache_capacity).  If a duplicate
+// request arrives after its cached reply was evicted, the server
+// re-executes the handler.  Handlers must therefore either be naturally
+// idempotent (read-only probes, forwards) or tolerate re-execution via
+// protocol-level recovery (orphan-reply absorption returns a
+// re-granted page to its owner).  Eviction is observable through
+// Counter::kDoneCacheEvictions, and suspected re-executions through
+// Counter::kDupReexecutions.
 //
 // One RemoteOp instance exists per node.  Server handlers run as
 // simulator events at message-delivery time (IVY's handlers ran at
@@ -27,8 +39,10 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "ivy/base/rng.h"
 #include "ivy/base/stats.h"
 #include "ivy/net/ring.h"
 
@@ -41,6 +55,16 @@ struct PendingReply {
   net::MsgKind kind = net::MsgKind::kInvalid;
 };
 
+/// Terminal outcome of a request that exhausted its retransmission
+/// budget (only possible under fault injection or a genuine partition).
+struct RequestFailure {
+  std::uint64_t rpc_id = 0;
+  net::MsgKind kind = net::MsgKind::kInvalid;
+  NodeId dst = kNoNode;  ///< kBroadcast for broadcast requests
+  std::uint32_t attempts = 0;
+  Time first_sent = 0;
+};
+
 enum class BcastReply : std::uint8_t { kAny, kAll, kNone };
 
 class RemoteOp {
@@ -51,6 +75,8 @@ class RemoteOp {
   using AllRepliesCallback = std::function<void(std::vector<net::Message>&&)>;
   /// Server handler; reply via reply_to()/reply_later() or forward().
   using ServerHandler = std::function<void(net::Message&&)>;
+  /// Invoked when a request fails terminally at the retransmission cap.
+  using FailureCallback = std::function<void(const RequestFailure&)>;
 
   RemoteOp(sim::Simulator& sim, net::Ring& ring, Stats& stats, NodeId self);
 
@@ -63,10 +89,12 @@ class RemoteOp {
 
   /// Sends a request to `dst`; `on_reply` fires exactly once.  `timeout`
   /// overrides the node's retransmission timeout for this request
-  /// (0 = use the default).
+  /// (0 = use the default).  `on_fail` (optional) fires instead of
+  /// `on_reply` if the retransmission cap is reached; without one the
+  /// node-level failure handler runs, and without that the run aborts.
   std::uint64_t request(NodeId dst, net::MsgKind kind, std::any payload,
                         std::uint32_t wire_bytes, ReplyCallback on_reply,
-                        Time timeout = 0);
+                        Time timeout = 0, FailureCallback on_fail = nullptr);
 
   /// Broadcasts a request.  For kAny, `on_reply` fires once with the
   /// first reply; for kNone neither callback may be given.
@@ -74,7 +102,7 @@ class RemoteOp {
                           std::uint32_t wire_bytes, BcastReply scheme,
                           ReplyCallback on_first = nullptr,
                           AllRepliesCallback on_all = nullptr,
-                          Time timeout = 0);
+                          Time timeout = 0, FailureCallback on_fail = nullptr);
 
   /// Abandons an outstanding request: no callback will fire and no
   /// retransmissions will be sent.  A reply that still arrives is routed
@@ -129,9 +157,27 @@ class RemoteOp {
   // --- retransmission ------------------------------------------------------
 
   void set_request_timeout(Time timeout) { request_timeout_ = timeout; }
+  [[nodiscard]] Time request_timeout() const { return request_timeout_; }
   void set_check_interval(Time interval) { check_interval_ = interval; }
+  /// Retransmissions allowed per request before it fails terminally.
+  void set_max_retransmits(std::uint32_t cap) { max_retransmits_ = cap; }
+  /// Node-level handler for terminal request failures (requests without a
+  /// per-request on_fail).  Without one, a terminal failure aborts the
+  /// run with diagnostics — a protocol under test should never hit the
+  /// cap silently.
+  void set_failure_handler(FailureCallback handler) {
+    failure_handler_ = std::move(handler);
+  }
+  /// Shrinks (or grows) the done-cache; exposed so tests can force
+  /// eviction-induced re-execution with little traffic.
+  void set_done_cache_capacity(std::size_t capacity);
   [[nodiscard]] std::size_t outstanding_requests() const {
     return outstanding_.size();
+  }
+  /// Requests accepted but not yet answered by this node's server side
+  /// (deferred replies included).  Zero at quiescence.
+  [[nodiscard]] std::size_t pending_serves() const {
+    return in_progress_.size();
   }
 
   /// Entry point wired to the ring.
@@ -142,11 +188,14 @@ class RemoteOp {
     net::Message original;  ///< kept for retransmission
     ReplyCallback on_reply;
     AllRepliesCallback on_all;
+    FailureCallback on_fail;
     std::vector<net::Message> replies;  ///< kAll accumulation
     std::uint32_t expected_replies = 1;
+    std::uint32_t retransmits = 0;  ///< resends so far (0 = first send only)
     Time first_sent = 0;  ///< for round-trip latency accounting
     Time last_sent = 0;
-    Time timeout = 0;  ///< 0 = node default
+    Time timeout = 0;       ///< 0 = node default
+    Time backoff_wait = 0;  ///< current wait before the next retransmit
   };
 
   struct DoneEntry {
@@ -164,6 +213,13 @@ class RemoteOp {
   void handle_request(net::Message&& msg);
   void arm_retransmit_timer();
   void retransmit_scan();
+  void fail_request(std::uint64_t id, Outstanding&& out);
+  /// Wait before the retransmit after one that waited `prev`: doubled,
+  /// capped, with deterministic +-25% jitter.
+  Time next_backoff(Time prev);
+  void evict_done_front();
+  /// Marks a (server, rpc) reply as processed for duplicate suppression.
+  void note_replied(std::uint64_t key);
   static std::uint64_t dedup_key(NodeId origin, std::uint64_t rpc_id) {
     return (static_cast<std::uint64_t>(origin) << 48) ^ rpc_id;
   }
@@ -182,7 +238,24 @@ class RemoteOp {
   // completed replies ("resend replies only when necessary").
   std::unordered_map<std::uint64_t, bool> in_progress_;
   std::deque<DoneEntry> done_cache_;
-  static constexpr std::size_t kDoneCacheCapacity = 1024;
+  std::size_t done_cache_capacity_ = 1024;
+  /// Highest rpc_id evicted from the done-cache per origin node: a
+  /// duplicate below (or at) the watermark *may* be a re-execution of an
+  /// evicted entry (exact detection is impossible once the key is gone).
+  std::unordered_map<NodeId, std::uint64_t> evicted_watermark_;
+
+  // Duplicate-reply suppression: every (rpc_id, server) reply is
+  // processed at most once.  Without it a fault-duplicated reply frame
+  // is handed to the orphan machinery a second time, which can issue a
+  // contradictory decision for a resource it already accepted, and a
+  // duplicated kAll reply double-decrements the remaining-reply count.
+  // Bounded like the done-cache; an evicted entry degrades gracefully to
+  // the orphan path.
+  std::deque<std::uint64_t> replied_order_;
+  std::unordered_set<std::uint64_t> replied_;
+  static std::uint64_t reply_key(NodeId server, std::uint64_t rpc_id) {
+    return (static_cast<std::uint64_t>(server) << 56) ^ rpc_id;
+  }
 
   std::function<std::uint8_t()> hint_provider_;
   std::function<void(NodeId, std::uint8_t)> hint_consumer_;
@@ -192,6 +265,11 @@ class RemoteOp {
   // (orphan absorption) but wasteful.  Drop tests dial this down.
   Time request_timeout_ = sec(2);
   Time check_interval_ = ms(500);  // "every half second"
+  std::uint32_t max_retransmits_ = 16;
+  FailureCallback failure_handler_;
+  /// Jitter stream for backoff; seeded from the node id only, so runs
+  /// that never retransmit draw nothing and stay bit-identical.
+  Rng backoff_rng_;
   bool timer_armed_ = false;
 };
 

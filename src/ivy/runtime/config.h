@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "ivy/fault/spec.h"
 #include "ivy/oracle/oracle.h"
 #include "ivy/proc/scheduler.h"
 #include "ivy/sim/cost_model.h"
@@ -62,6 +63,22 @@ struct Config {
   /// invariants on every transition.  kStrict aborts on the first
   /// violation; kWarn logs and counts.
   oracle::Mode oracle_mode = oracle::Mode::kOff;
+
+  // --- fault injection -------------------------------------------------------
+  /// Fault rules applied per (frame, recipient) between the ring and
+  /// delivery.  Empty = no fault plane installed: zero extra RNG draws,
+  /// bit-identical to a build without the plane.
+  fault::FaultSpec fault;
+  /// Seed of the fault plane's private RNG stream, independent of `seed`
+  /// so the same workload can be rerun under different fault draws.
+  std::uint64_t fault_seed = 0xfa017;
+
+  // --- rpc robustness --------------------------------------------------------
+  /// Client retransmission timeout / scan period (see rpc::RemoteOp).
+  Time rpc_request_timeout = sec(2);
+  Time rpc_check_interval = ms(500);
+  /// Retransmissions per request before a terminal RequestFailure.
+  std::uint32_t rpc_max_retransmits = 16;
 
   // --- timing ----------------------------------------------------------------
   sim::CostModel costs;

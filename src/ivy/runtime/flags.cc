@@ -30,6 +30,8 @@ void ObsFlags::apply(Config& cfg) const {
   }
   if (oracle != oracle::Mode::kOff) cfg.oracle_mode = oracle;
   if (manager.has_value()) cfg.manager = *manager;
+  if (fault.active()) cfg.fault = fault;
+  if (fault_seed.has_value()) cfg.fault_seed = *fault_seed;
 }
 
 bool parse_obs_flags(int* argc, char** argv, ObsFlags* out,
@@ -90,6 +92,18 @@ bool parse_obs_flags(int* argc, char** argv, ObsFlags* out,
           ok = false;
         }
       }
+    } else if (name == "--fault") {
+      if (const char* v = take_value()) {
+        std::string why;
+        if (!fault::parse_fault_spec(v, &out->fault, &why)) {
+          *error = "--fault: " + why;
+          ok = false;
+        }
+      }
+    } else if (name == "--fault-seed") {
+      if (const char* v = take_value()) {
+        out->fault_seed = std::strtoull(v, nullptr, 0);
+      }
     } else {
       argv[kept++] = argv[i];  // not ours: keep for the caller
       continue;
@@ -103,7 +117,8 @@ bool parse_obs_flags(int* argc, char** argv, ObsFlags* out,
 const char* obs_flags_usage() {
   return "[--trace-out PATH] [--metrics-out PATH] [--trace-capacity N]\n"
          "          [--hot-pages N] [--oracle off|warn|strict]\n"
-         "          [--manager centralized|fixed|dynamic|broadcast]";
+         "          [--manager centralized|fixed|dynamic|broadcast]\n"
+         "          [--fault SPEC] [--fault-seed N]";
 }
 
 }  // namespace ivy::runtime

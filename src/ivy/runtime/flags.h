@@ -9,6 +9,8 @@
 //   --trace-capacity N    event ring capacity (default 262144)
 //   --hot-pages N         print the top-N hot-page table
 //   --oracle MODE         coherence oracle: off | warn | strict
+//   --fault SPEC          fault-injection rules (see ivy/fault/spec.h)
+//   --fault-seed N        seed of the fault plane's private RNG stream
 //
 // Both "--flag value" and "--flag=value" spellings are accepted.
 // Recognized flags are REMOVED from argv, so callers parse their own
@@ -31,13 +33,17 @@ struct ObsFlags {
   /// Coherence algorithm override (--manager KIND), for driving one
   /// binary across all four managers from CI.
   std::optional<svm::ManagerKind> manager;
+  /// Fault-injection rules (--fault SPEC); empty = no fault plane.
+  fault::FaultSpec fault;
+  std::optional<std::uint64_t> fault_seed;
 
   [[nodiscard]] bool tracing() const {
     return !trace_out.empty() || hot_pages > 0;
   }
   [[nodiscard]] bool any() const {
     return tracing() || !metrics_out.empty() ||
-           oracle != oracle::Mode::kOff || manager.has_value();
+           oracle != oracle::Mode::kOff || manager.has_value() ||
+           fault.active() || fault_seed.has_value();
   }
 
   /// Arms tracing / the oracle / the manager override on a config.

@@ -58,10 +58,30 @@ Runtime::Runtime(Config cfg)
         cfg_.initial_owner);
     oracle_->set_clock([this] { return sim_.now(); });
   }
+  if (cfg_.fault.active()) {
+    fault_plane_ = std::make_unique<fault::FaultPlane>(
+        cfg_.fault, cfg_.fault_seed, stats_, [this] { return sim_.now(); });
+    ring_.set_fault_hook(fault_plane_.get());
+  }
   nodes_.reserve(cfg_.nodes);
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeCtx>(*this, n));
     proc::Scheduler& sched = nodes_.back()->sched;
+    rpc::RemoteOp& rpc = nodes_.back()->rpc;
+    rpc.set_request_timeout(cfg_.rpc_request_timeout);
+    rpc.set_check_interval(cfg_.rpc_check_interval);
+    rpc.set_max_retransmits(cfg_.rpc_max_retransmits);
+    // A terminal rpc failure means the protocol could not recover (e.g. a
+    // peer stayed partitioned past the whole backoff schedule).  There is
+    // no application-level story for a lost coherence operation, so dump
+    // and abort rather than compute wrong answers.
+    rpc.set_failure_handler([this, n](const rpc::RequestFailure& f) {
+      IVY_WARN() << "stranded machine state:\n" << dump_state();
+      IVY_CHECK_MSG(false, "node " << n << " gave up on rpc " << f.rpc_id
+                                   << " (" << net::to_string(f.kind)
+                                   << ") after " << f.attempts
+                                   << " attempts — unrecoverable fault load");
+    });
     nodes_.back()->svm.set_stall_hook([&sched](Time t) { sched.stall(t); });
     if (oracle_) oracle_->attach(&nodes_.back()->svm);
   }

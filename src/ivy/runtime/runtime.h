@@ -20,6 +20,7 @@
 
 #include "ivy/alloc/central_allocator.h"
 #include "ivy/alloc/two_level_allocator.h"
+#include "ivy/fault/plane.h"
 #include "ivy/net/ring.h"
 #include "ivy/runtime/config.h"
 #include "ivy/runtime/shared.h"
@@ -111,6 +112,8 @@ class Runtime {
   [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
   /// The coherence oracle, or nullptr when cfg.oracle_mode == kOff.
   [[nodiscard]] oracle::Oracle* oracle() { return oracle_.get(); }
+  /// The installed fault plane, or nullptr when cfg.fault is empty.
+  [[nodiscard]] fault::FaultPlane* fault_plane() { return fault_plane_.get(); }
   /// Arms the tracer mid-flight (e.g. to trace only a later phase).
   void enable_tracing(std::size_t capacity = 1 << 16);
   /// Writes the retained events as Chrome trace_event JSON (load in
@@ -162,6 +165,7 @@ class Runtime {
   Stats stats_;
   trace::Tracer tracer_;
   net::Ring ring_;
+  std::unique_ptr<fault::FaultPlane> fault_plane_;
   proc::LiveCounter live_;
   // Declared before nodes_: the per-node Svm instances hold raw observer
   // pointers into the oracle, so it must outlive them.

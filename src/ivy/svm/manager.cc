@@ -8,6 +8,11 @@
 #include "ivy/trace/trace.h"
 
 namespace ivy::svm {
+namespace {
+/// Broadcast-locate escalations allowed per fault before declaring the
+/// owner unreachable and aborting the run.
+constexpr int kMaxFaultRelocates = 8;
+}  // namespace
 
 std::unique_ptr<Manager> Manager::create(Svm& svm) {
   switch (svm.options().manager) {
@@ -39,8 +44,15 @@ bool Manager::try_local_write_upgrade(PageId page) {
   IVY_CHECK(entry.access != Access::kNil);
   svm_.stats().bump(svm_.self(), Counter::kLocalFaultHits);
   ++entry.version;
-  svm_.invalidate_copies(page, [this, page] {
+  svm_.invalidate_copies(page, [this, page, ver = entry.version] {
     PageEntry& e = svm_.table().at(page);
+    // Commit only if the round's world is still current: a duplicate
+    // grant can start a concurrent round at a newer version, and the
+    // page may have been granted away (or the fault completed) before
+    // this round's last ack lands — restoring write access then would
+    // fork the writer token.  The last-started round completes the
+    // fault; superseded rounds fall through.
+    if (!e.owned || e.version != ver || !e.fault_in_progress) return;
     e.copyset.clear();
     e.access = Access::kWrite;
     svm_.complete_fault(page);
@@ -62,7 +74,12 @@ void Manager::on_fault_request(net::Message&& msg) {
     // superseded request's reply, if it ever arrives, is absorbed by the
     // orphan machinery.
     svm_.rpc().ignore(msg);
-    if (entry.fault_in_progress && entry.fault_level != Access::kNil) {
+    // Only the *current* request's bounce triggers a retry: a stale
+    // duplicate of an already-superseded request can still be circulating
+    // (fault-injected delays make this common) and must not cancel a
+    // healthy in-flight successor.
+    if (entry.fault_in_progress && entry.fault_level != Access::kNil &&
+        msg.rpc_id == entry.fault_rpc) {
       svm_.rpc().cancel(entry.fault_rpc);
       ++entry.bounce_count;
       retry_fault(page, entry.fault_level == Access::kWrite
@@ -192,6 +209,16 @@ void Manager::on_grant(net::Message&& reply) {
       retry_fault(page, net::MsgKind::kReadFault);
       return;
     }
+    if (grant.body == nullptr && !svm_.frames().resident(page)) {
+      // Bodyless grant assuming a local copy we no longer hold (it was
+      // invalidated or evicted while the request was in flight — the
+      // server judged a stale has_copy hint).  The data never travelled;
+      // re-request it.
+      IVY_DEBUG() << "node " << svm_.self() << " lacks the copy a bodyless"
+                  << " read grant of page " << page << " assumed; retrying";
+      retry_fault(page, net::MsgKind::kReadFault);
+      return;
+    }
     svm_.install_body(page, grant.body);
     entry.access = Access::kRead;
     entry.version = grant.version;
@@ -202,12 +229,37 @@ void Manager::on_grant(net::Message&& reply) {
   }
 
   if (grant.version <= entry.version) {
+    if (entry.accepted_unconfirmed(grant.version)) {
+      // Duplicate of a grant this node already accepted (the old owner
+      // re-sent it under a fresh rpc id before our ack landed).  Re-ack
+      // the acceptance — a reject could overtake the original accept and
+      // abort a confirmed transfer, leaving two owners.
+      svm_.send_grant_ack(reply.src, page, grant.version, /*accept=*/true);
+      retry_fault(page, net::MsgKind::kWriteFault);
+      return;
+    }
     // Stale ownership era.  Abort the transfer (the old owner resumes)
     // and chase the live owner again.
+    IVY_DEBUG() << "node " << svm_.self() << " rejects stale write grant of"
+                << " page " << page << " v" << grant.version << " from "
+                << reply.src;
     svm_.send_grant_ack(reply.src, page, grant.version, /*accept=*/false);
     retry_fault(page, net::MsgKind::kWriteFault);
     return;
   }
+  if (grant.body == nullptr && !svm_.frames().resident(page)) {
+    // Bodyless ownership grant, but the local copy it assumed is gone
+    // (invalidated or evicted mid-flight).  Abort the transfer — the old
+    // owner still holds the data — and re-request; the retry advertises
+    // has_copy=false, so the next grant ships the body.
+    IVY_DEBUG() << "node " << svm_.self() << " lacks the copy a bodyless"
+                << " write grant of page " << page << " assumed; retrying";
+    svm_.send_grant_ack(reply.src, page, grant.version, /*accept=*/false);
+    retry_fault(page, net::MsgKind::kWriteFault);
+    return;
+  }
+  IVY_DEBUG() << "node " << svm_.self() << " accepts grant of page " << page
+              << " v" << grant.version << " from " << reply.src;
   svm_.send_grant_ack(reply.src, page, grant.version, /*accept=*/true);
   entry.owned = true;
   entry.version = grant.version;
@@ -223,8 +275,10 @@ void Manager::on_grant(net::Message&& reply) {
     obs->on_ownership_gained(svm_.self(), page, reply.src, grant.version);
     svm_.notify_content(page, grant.version, /*at_source=*/false);
   }
-  svm_.invalidate_copies(page, [this, page] {
+  svm_.invalidate_copies(page, [this, page, ver = entry.version] {
     PageEntry& e = svm_.table().at(page);
+    // Superseded-round guard (see try_local_write_upgrade).
+    if (!e.owned || e.version != ver || !e.fault_in_progress) return;
     e.copyset.clear();
     e.access = Access::kWrite;
     svm_.complete_fault(page);
@@ -256,8 +310,10 @@ void Manager::retry_fault(PageId page, net::MsgKind kind) {
       return;
     }
     ++entry.version;
-    svm_.invalidate_copies(page, [this, page] {
+    svm_.invalidate_copies(page, [this, page, ver = entry.version] {
       PageEntry& e = svm_.table().at(page);
+      // Superseded-round guard (see try_local_write_upgrade).
+      if (!e.owned || e.version != ver || !e.fault_in_progress) return;
       e.copyset.clear();
       e.access = Access::kWrite;
       svm_.complete_fault(page);
@@ -282,7 +338,7 @@ void Manager::broadcast_locate(PageId page, net::MsgKind kind) {
   entry.fault_rpc = svm_.rpc().broadcast(
       kind, payload, FaultPayload::kWireBytes, rpc::BcastReply::kAny,
       [this](net::Message&& reply) { on_grant(std::move(reply)); }, nullptr,
-      ms(50));
+      ms(50), relocate_on_failure(page));
 }
 
 void Manager::send_fault(NodeId dst, PageId page, net::MsgKind kind) {
@@ -291,11 +347,34 @@ void Manager::send_fault(NodeId dst, PageId page, net::MsgKind kind) {
   payload.page = page;
   payload.has_copy = entry.access == Access::kRead;
   payload.hint = entry.prob_owner;
-  entry.fault_rpc =
-      svm_.rpc().request(dst, kind, payload, FaultPayload::kWireBytes,
-                         [this](net::Message&& reply) {
-                           on_grant(std::move(reply));
-                         });
+  entry.fault_rpc = svm_.rpc().request(
+      dst, kind, payload, FaultPayload::kWireBytes,
+      [this](net::Message&& reply) { on_grant(std::move(reply)); },
+      /*timeout=*/0, relocate_on_failure(page));
+}
+
+rpc::RemoteOp::FailureCallback Manager::relocate_on_failure(PageId page) {
+  return [this, page](const rpc::RequestFailure& failure) {
+    PageEntry& entry = svm_.table().at(page);
+    if (!entry.fault_in_progress || entry.fault_level == Access::kNil ||
+        entry.fault_rpc != failure.rpc_id) {
+      return;  // the fault already moved on (retried or completed)
+    }
+    ++entry.lost_retries;
+    IVY_CHECK_MSG(entry.lost_retries <= kMaxFaultRelocates,
+                  "node " << svm_.self() << " cannot reach the owner of page "
+                          << page << " after " << entry.lost_retries
+                          << " locate rounds — unrecoverable fault load");
+    IVY_DEBUG() << "node " << svm_.self() << " fault request for page " << page
+                << " exhausted retransmissions; relocating the owner by"
+                << " broadcast (round " << entry.lost_retries << ")";
+    // Skip straight past hint chasing: whatever routing state swallowed
+    // this request would swallow its successor too.
+    entry.bounce_count = 2;
+    retry_fault(page, entry.fault_level == Access::kWrite
+                          ? net::MsgKind::kWriteFault
+                          : net::MsgKind::kReadFault);
+  };
 }
 
 }  // namespace ivy::svm

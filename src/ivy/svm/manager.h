@@ -102,6 +102,19 @@ class Manager {
   /// fault, wiring the reply into on_grant().
   void send_fault(NodeId dst, PageId page, net::MsgKind kind);
 
+  /// Failure callback attached to every fault request.  Retransmission
+  /// makes individual frame losses survivable, but a lost *grant* whose
+  /// request was then cancelled leaves eagerly-updated owner maps and
+  /// probOwner hints pointing at a node that never became owner; requests
+  /// routed by that state can cycle without ever reaching the true owner,
+  /// and the origin's retransmissions are re-forwarded into the same
+  /// cycle.  When the rpc layer gives up, the routing state is presumed
+  /// poisoned and the fault escalates to a broadcast locate, which
+  /// consults no routing state at all.  Bounded per fault by
+  /// PageEntry::lost_retries; exhausting the bound aborts the run.
+  [[nodiscard]] rpc::RemoteOp::FailureCallback relocate_on_failure(
+      PageId page);
+
   Svm& svm_;
 };
 

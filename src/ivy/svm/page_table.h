@@ -9,6 +9,7 @@
 // processors through which the true owner can be found").
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -91,6 +92,27 @@ struct PageEntry {
   /// can cycle forever; after a couple of bounces the fault falls back to
   /// locating the owner by broadcast.
   int bounce_count = 0;
+  /// Times the in-flight fault's request was given up by the rpc layer
+  /// (retransmission cap) and re-driven through a broadcast locate —
+  /// recovery from routing state poisoned by a lost grant.  Bounded; see
+  /// Manager::relocate_on_failure.
+  int lost_retries = 0;
+  /// Versions of ownership grants this node accepted whose accept ack the
+  /// old owner has not yet confirmed processing (the kGrantAck request's
+  /// reply is the confirmation).  A duplicate of such a grant — the old
+  /// owner re-sends it under a fresh rpc id while the ack is in flight —
+  /// must be re-acked as accepted, never rejected: a reject could
+  /// overtake the original accept and abort a confirmed transfer, leaving
+  /// two owners.  (page, version) identifies a grant uniquely: owners
+  /// bump the version at every serve and never reuse one, even across
+  /// aborted transfers.  Once confirmed, the old owner has settled that
+  /// transfer and a reject of a late duplicate is harmlessly ignored.
+  std::vector<std::uint64_t> unconfirmed_accepts;
+
+  [[nodiscard]] bool accepted_unconfirmed(std::uint64_t version) const {
+    return std::find(unconfirmed_accepts.begin(), unconfirmed_accepts.end(),
+                     version) != unconfirmed_accepts.end();
+  }
   /// Post-fault grace: number of local waiters that still must perform
   /// their first access before deferred remote requests are replayed.  A
   /// real MMU retries the faulting instruction before any other fault is

@@ -64,6 +64,9 @@ Svm::Svm(sim::Simulator& sim, rpc::RemoteOp& rpc, Stats& stats, NodeId self,
   rpc_.set_handler(net::MsgKind::kGrantAck, [this](net::Message&& msg) {
     on_grant_ack(std::move(msg));
   });
+  rpc_.set_handler(net::MsgKind::kGrantPush, [this](net::Message&& msg) {
+    on_grant_push(std::move(msg));
+  });
 }
 
 Svm::~Svm() = default;
@@ -204,6 +207,7 @@ void Svm::complete_fault(PageId page) {
   entry.fault_in_progress = false;
   entry.fault_level = Access::kNil;
   entry.bounce_count = 0;
+  entry.lost_retries = 0;
   if (level != Access::kNil) {
     // kNil marks protocol-internal holds (disk restore, outbound
     // transfer), which account for themselves at their own sites.
@@ -274,6 +278,8 @@ void Svm::replay_deferred(PageId page) {
 
 void Svm::defer_request(PageId page, net::Message&& msg) {
   PageEntry& entry = table_.at(page);
+  IVY_DEBUG() << "node " << self_ << " defers " << net::to_string(msg.kind)
+              << " from " << msg.origin << " for page " << page;
   entry.deferred_requests.push_back(std::move(msg));
   // An owner (or a node with a pending outbound transfer) serves its
   // queue when it settles.  A *non-owner* holding requests is only a
@@ -386,6 +392,16 @@ void Svm::on_invalidate(net::Message&& msg) {
 bool Svm::absorb_grant(const GrantPayload& grant, NodeId from) {
   if (!grant.write_grant) return false;  // read copies carry no resource
   PageEntry& entry = table_.at(grant.page);
+  if (entry.accepted_unconfirmed(grant.version)) {
+    // Duplicate of a grant this node already accepted.  Re-ack the
+    // acceptance but install nothing — the first copy did.  Rejecting
+    // instead could overtake the original accept (delay faults reorder
+    // traffic) and abort a transfer the old owner must finalize.
+    IVY_DEBUG() << "node " << self_ << " re-acks accepted grant of page "
+                << grant.page << " v" << grant.version;
+    send_grant_ack(from, grant.page, grant.version, /*accept=*/true);
+    return true;
+  }
   if (pending_transfers_.contains(grant.page) ||
       (entry.fault_in_progress && entry.fault_level == Access::kNil) ||
       grant.version <= entry.version ||
@@ -393,9 +409,13 @@ bool Svm::absorb_grant(const GrantPayload& grant, NodeId from) {
     // Stale, colliding with a protocol-internal state (outbound transfer
     // or disk restore), or bodyless without a surviving local copy:
     // abort the transfer — the old owner still holds the page and data.
+    IVY_DEBUG() << "node " << self_ << " rejects orphan grant of page "
+                << grant.page << " v" << grant.version << " from " << from;
     send_grant_ack(from, grant.page, grant.version, /*accept=*/false);
     return false;
   }
+  IVY_DEBUG() << "node " << self_ << " absorbs orphan grant of page "
+              << grant.page << " v" << grant.version << " from " << from;
   send_grant_ack(from, grant.page, grant.version, /*accept=*/true);
   entry.owned = true;
   entry.version = grant.version;
@@ -412,21 +432,38 @@ bool Svm::absorb_grant(const GrantPayload& grant, NodeId from) {
     observer_->on_ownership_gained(self_, grant.page, from, grant.version);
     notify_content(grant.page, grant.version, /*at_source=*/false);
   }
-  if (entry.fault_in_progress) {
+  if (entry.access != Access::kWrite) {
+    // Invalidate the inherited readers even without local write intent:
+    // the grant's version was bumped at detach, so surviving copies from
+    // the previous ownership era would sit below the owner's version
+    // forever (the next writer would invalidate them anyway, but a page
+    // can settle in this skewed state and read as a lost invalidation).
+    if (!entry.fault_in_progress) {
+      // Hold the page busy for the round (like a disk restore) so a
+      // concurrent local upgrade cannot start a colliding round.
+      entry.fault_in_progress = true;
+      entry.fault_level = Access::kNil;
+      entry.fault_start = sim_.now();
+    } else if (entry.fault_level == Access::kWrite) {
+      ++entry.version;  // the local write starts a new version
+    }
+    invalidate_copies(grant.page,
+                      [this, page = grant.page, ver = entry.version] {
+      PageEntry& e = table_.at(page);
+      // Commit only if the round's world is still current (same guard
+      // as the manager's upgrade paths): a concurrent round at a newer
+      // version, a completed fault, or a page granted away mid-round
+      // all supersede this one — restoring write access then would
+      // fork the writer token.
+      if (!e.owned || e.version != ver || !e.fault_in_progress) return;
+      e.copyset.clear();
+      e.access = Access::kWrite;
+      complete_fault(page);
+    });
+  } else if (entry.fault_in_progress) {
     // The adopted ownership satisfies our own outstanding fault: finish
     // it now, or our re-issued request would chase a chain ending here.
-    if (entry.fault_level == Access::kWrite &&
-        entry.access != Access::kWrite) {
-      ++entry.version;
-      invalidate_copies(grant.page, [this, page = grant.page] {
-        PageEntry& e = table_.at(page);
-        e.copyset.clear();
-        e.access = Access::kWrite;
-        complete_fault(page);
-      });
-    } else {
-      complete_fault(grant.page);
-    }
+    complete_fault(grant.page);
   }
   return true;
 }
@@ -443,13 +480,88 @@ void Svm::begin_pending_transfer(PageId page, NodeId to,
   entry.fault_level = Access::kNil;
   entry.fault_start = sim_.now();
   pending_transfers_[page] = PendingTransfer{to, version};
+  IVY_DEBUG() << "node " << self_ << " holds page " << page
+              << " pending transfer to " << to << " v" << version;
+  arm_reoffer(page, version);
+}
+
+void Svm::arm_reoffer(PageId page, std::uint64_t version) {
+  // Quiet period before re-offering: long enough that the requester's own
+  // retransmissions (which make the old owner resend the grant) have had
+  // every chance first.
+  const Time wait = 4 * rpc_.request_timeout();
+  sim_.schedule_after(wait, [this, page, version] {
+    auto it = pending_transfers_.find(page);
+    if (it == pending_transfers_.end() || it->second.version != version) {
+      return;  // the transfer settled (acked or aborted)
+    }
+    if (!it->second.push_in_flight) push_pending_grant(page);
+    arm_reoffer(page, version);
+  });
+}
+
+void Svm::push_pending_grant(PageId page) {
+  auto it = pending_transfers_.find(page);
+  IVY_CHECK(it != pending_transfers_.end());
+  PendingTransfer& pending = it->second;
+  GrantPayload grant;
+  grant.page = page;
+  grant.version = pending.version;
+  grant.write_grant = true;
+  grant.copyset = table_.at(page).copyset;
+  grant.copyset.remove(pending.to);
+  grant.body = snapshot(page);
+  pending.push_in_flight = true;
+  stats_.bump(self_, Counter::kGrantReoffers);
+  IVY_DEBUG() << "node " << self_ << " re-offers unacked grant of page "
+              << page << " v" << pending.version << " to " << pending.to;
+  const auto clear = [this, page, version = pending.version] {
+    auto i = pending_transfers_.find(page);
+    if (i != pending_transfers_.end() && i->second.version == version) {
+      i->second.push_in_flight = false;
+    }
+  };
+  rpc_.request(pending.to, net::MsgKind::kGrantPush, grant,
+               grant.wire_bytes(),
+               [clear](net::Message&&) { clear(); },
+               /*timeout=*/0, [clear](const rpc::RequestFailure&) { clear(); });
+}
+
+void Svm::on_grant_push(net::Message&& msg) {
+  const auto grant = std::any_cast<GrantPayload>(msg.payload);
+  // absorb_grant adopts or rejects the offer and sends the kGrantAck that
+  // settles the pusher's pending transfer; the push reply itself only
+  // confirms delivery.
+  absorb_grant(grant, msg.origin);
+  rpc_.reply_to(msg, AckPayload{grant.page}, AckPayload::kWireBytes);
 }
 
 void Svm::send_grant_ack(NodeId to, PageId page, std::uint64_t version,
                          bool accept) {
+  if (accept) {
+    // Remember the acceptance until the old owner confirms it processed
+    // the ack (the request's reply): duplicates of this grant arriving
+    // meanwhile must be re-acked accept, never rejected.  Bounded as a
+    // backstop against a terminally-failed ack (a re-offered grant will
+    // re-drive the handshake in that case).
+    auto& set = table_.at(page).unconfirmed_accepts;
+    if (std::find(set.begin(), set.end(), version) == set.end()) {
+      set.push_back(version);
+      if (set.size() > 8) set.erase(set.begin());
+    }
+  }
   rpc_.request(to, net::MsgKind::kGrantAck,
                GrantAckPayload{page, version, accept},
-               GrantAckPayload::kWireBytes, [](net::Message&&) {});
+               GrantAckPayload::kWireBytes,
+               [this, page, version, accept](net::Message&&) {
+                 if (!accept) return;
+                 std::erase(table_.at(page).unconfirmed_accepts, version);
+               },
+               /*timeout=*/0,
+               [](const rpc::RequestFailure&) {
+                 // Terminal ack loss: keep the version marked; the old
+                 // owner's grant re-offer restarts the handshake.
+               });
 }
 
 void Svm::on_grant_ack(net::Message&& msg) {
@@ -457,9 +569,14 @@ void Svm::on_grant_ack(net::Message&& msg) {
   auto it = pending_transfers_.find(ack.page);
   if (it == pending_transfers_.end() || it->second.version != ack.version) {
     // Duplicate ack for an already-settled transfer.
+    IVY_DEBUG() << "node " << self_ << " ignores settled grant-ack for page "
+                << ack.page << " v" << ack.version << " accept=" << ack.accept;
     rpc_.reply_to(msg, AckPayload{ack.page}, AckPayload::kWireBytes);
     return;
   }
+  IVY_DEBUG() << "node " << self_ << " grant-ack for page " << ack.page
+              << " v" << ack.version << " accept=" << ack.accept << " from "
+              << msg.origin;
   PageEntry& entry = table_.at(ack.page);
   IVY_CHECK_MSG(entry.owned && entry.fault_in_progress,
                 "grant-ack state: node " << self_ << " page " << ack.page
@@ -516,6 +633,9 @@ bool Svm::resend_pending_grant(const net::Message& msg) {
   grant.copyset = table_.at(payload.page).copyset;
   grant.copyset.remove(msg.origin);
   grant.body = snapshot(payload.page);
+  IVY_DEBUG() << "node " << self_ << " resends pending grant of page "
+              << payload.page << " v" << it->second.version << " to "
+              << msg.origin;
   stats_.bump(self_, Counter::kPageTransfers);
   IVY_EVT(stats_, record(self_, trace::EventKind::kPageSent, payload.page,
                          msg.origin));

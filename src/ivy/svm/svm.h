@@ -225,6 +225,10 @@ class Svm {
   /// true when handled.
   bool resend_pending_grant(const net::Message& msg);
 
+  /// kGrantPush server: a re-offered grant arrives as a reliable request
+  /// (not a reply), absorbed or rejected like an orphan grant.
+  void on_grant_push(net::Message&& msg);
+
  private:
   mem::FramePool::EvictAction on_evict(PageId page,
                                        std::span<const std::byte> bytes);
@@ -232,7 +236,20 @@ class Svm {
   struct PendingTransfer {
     NodeId to = kNoNode;
     std::uint64_t version = 0;
+    /// A kGrantPush re-offer for this transfer is in flight.
+    bool push_in_flight = false;
   };
+
+  /// Old-owner liveness for the two-phase transfer: the grant travels as
+  /// an rpc *reply*, which is only re-driven by the requester's
+  /// retransmissions.  If the requester's rpc no longer exists (it was a
+  /// double-served duplicate of an already-satisfied fault) and the grant
+  /// frame is lost, nothing re-asks — the transfer would pend forever and
+  /// the old owner would defer every request for the page.  The re-offer
+  /// timer pushes the held grant to the target as a reliable *request*
+  /// (kGrantPush) until the transfer settles either way.
+  void arm_reoffer(PageId page, std::uint64_t version);
+  void push_pending_grant(PageId page);
 
   sim::Simulator& sim_;
   rpc::RemoteOp& rpc_;

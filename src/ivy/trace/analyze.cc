@@ -593,6 +593,12 @@ CausalityReport causality_audit(const LoadedTrace& trace,
         ++report.cancelled;
         rpcs[e.arg0].cancelled = true;
         break;
+      case EventKind::kRpcFailed:
+        // Terminal failure resolves the request: it is answered by the
+        // failure path, not dangling.
+        ++report.failed;
+        rpcs[e.arg0].cancelled = true;
+        break;
       default:
         break;
     }
@@ -684,7 +690,70 @@ std::vector<CrossCheckRow> cross_check(const LoadedTrace& trace,
   add("retransmissions", count(EventKind::kRetransmit), true, "");
   add("evictions", count(EventKind::kEviction), true, "");
   add("migrations", count(EventKind::kMigrateOut), true, "");
+  add("faults_injected", count(EventKind::kFaultInjected), true, "");
+  add("checksum_drops", count(EventKind::kMsgCorrupted), true, "");
+  add("rpc_backoffs", count(EventKind::kRpcBackoff), true, "");
+  add("rpc_failures", count(EventKind::kRpcFailed), true, "");
   return rows;
+}
+
+FaultReport fault_report(const LoadedTrace& trace) {
+  FaultReport report;
+  std::vector<Time> injections;  // timestamps of perturbed deliveries
+  for (const Event& e : trace.events) {
+    switch (e.kind) {
+      case EventKind::kFaultInjected:
+        ++report.injected_total;
+        if (e.arg1 < report.injected_by_type.size()) {
+          ++report.injected_by_type[e.arg1];
+        }
+        injections.push_back(e.ts);
+        break;
+      case EventKind::kMsgCorrupted:
+        ++report.corrupted_frames;
+        injections.push_back(e.ts);
+        break;
+      case EventKind::kRpcBackoff:
+        ++report.backoffs;
+        break;
+      case EventKind::kRpcFailed:
+        ++report.failures;
+        break;
+      default:
+        break;
+    }
+  }
+  std::sort(injections.begin(), injections.end());
+  Time sum_overlapping = 0;
+  Time sum_clean = 0;
+  for (const Event& e : trace.events) {
+    if ((e.kind != EventKind::kReadFault &&
+         e.kind != EventKind::kWriteFault) ||
+        e.dur == 0) {
+      continue;
+    }
+    // An injection inside the span means this fault plausibly paid for
+    // it (a dropped/delayed leg of its own protocol exchange, or queueing
+    // behind someone else's retransmissions).
+    const auto lo = std::lower_bound(injections.begin(), injections.end(),
+                                     e.ts);
+    const bool hit = lo != injections.end() && *lo <= e.ts + e.dur;
+    if (hit) {
+      ++report.overlapping_faults;
+      sum_overlapping += e.dur;
+    } else {
+      ++report.clean_faults;
+      sum_clean += e.dur;
+    }
+  }
+  if (report.overlapping_faults > 0) {
+    report.mean_overlapping =
+        sum_overlapping / static_cast<Time>(report.overlapping_faults);
+  }
+  if (report.clean_faults > 0) {
+    report.mean_clean = sum_clean / static_cast<Time>(report.clean_faults);
+  }
+  return report;
 }
 
 std::string render_report(const LoadedTrace& trace,
@@ -776,6 +845,26 @@ std::string render_report(const LoadedTrace& trace,
     out << "\n";
   }
 
+  const FaultReport faults = fault_report(trace);
+  if (faults.any()) {
+    out << "\n-- fault injection --\n";
+    static const char* kTypeNames[] = {"drop", "dup", "delay", "corrupt",
+                                       "partition"};
+    out << "injected=" << faults.injected_total;
+    for (std::size_t i = 0; i < faults.injected_by_type.size(); ++i) {
+      if (faults.injected_by_type[i] == 0) continue;
+      out << "  " << kTypeNames[i] << "=" << faults.injected_by_type[i];
+    }
+    out << "\n";
+    out << "checksum_drops=" << faults.corrupted_frames
+        << "  rpc_backoffs=" << faults.backoffs
+        << "  rpc_failures=" << faults.failures << "\n";
+    out << "fault spans overlapping an injection: "
+        << faults.overlapping_faults << " (mean "
+        << format_us(faults.mean_overlapping) << ") vs " << faults.clean_faults
+        << " clean (mean " << format_us(faults.mean_clean) << ")\n";
+  }
+
   const CausalityReport causality = causality_audit(trace, window_complete);
   out << "\n-- rpc causality --\n";
   out << "requests=" << causality.requests
@@ -783,6 +872,7 @@ std::string render_report(const LoadedTrace& trace,
       << "  replies=" << causality.replies
       << "  duplicate_replies=" << causality.duplicate_replies
       << "  cancelled=" << causality.cancelled
+      << "  failed=" << causality.failed
       << "  unanswered=" << causality.unanswered
       << "  unmatched=" << causality.unmatched_replies
       << "  orphans_observed=" << causality.orphan_events << "\n";

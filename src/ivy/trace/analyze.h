@@ -126,6 +126,30 @@ struct ChainLengths {
 /// Forwarding hops per fault, from kForward events inside fault windows.
 [[nodiscard]] ChainLengths chain_lengths(const LoadedTrace& trace);
 
+// --- fault-injection attribution --------------------------------------
+
+/// What the fault plane did to the run, and what it cost: injections by
+/// type, receiver-side checksum discards, the rpc-level consequences
+/// (backoffs, terminal failures), and how page-fault latency differs
+/// between fault spans that overlap an injection and those that do not.
+struct FaultReport {
+  /// Indexed by fault::FaultType (drop, dup, delay, corrupt, partition).
+  std::array<std::uint64_t, 5> injected_by_type{};
+  std::uint64_t injected_total = 0;
+  std::uint64_t corrupted_frames = 0;  ///< kMsgCorrupted (checksum drops)
+  std::uint64_t backoffs = 0;
+  std::uint64_t failures = 0;
+  /// Page-fault spans whose window contains at least one injection.
+  std::uint64_t overlapping_faults = 0;
+  std::uint64_t clean_faults = 0;
+  Time mean_overlapping = 0;  ///< mean latency of overlapping spans
+  Time mean_clean = 0;        ///< mean latency of the rest
+
+  [[nodiscard]] bool any() const { return injected_total > 0; }
+};
+
+[[nodiscard]] FaultReport fault_report(const LoadedTrace& trace);
+
 // --- rpc causality audit ----------------------------------------------
 
 struct CausalityReport {
@@ -134,7 +158,8 @@ struct CausalityReport {
   std::uint64_t replies = 0;            ///< kRpcReplySent events
   std::uint64_t duplicate_replies = 0;  ///< extra replies to a unicast id
   std::uint64_t cancelled = 0;          ///< requests the client abandoned
-  std::uint64_t unanswered = 0;  ///< unicast ids with no reply nor cancel
+  std::uint64_t failed = 0;             ///< requests that failed terminally
+  std::uint64_t unanswered = 0;  ///< unicast ids with no reply/cancel/failure
   std::uint64_t unmatched_replies = 0;  ///< replies to an unseen id
   std::uint64_t orphan_events = 0;      ///< kRpcOrphan observed at clients
   bool window_complete = true;  ///< ring buffer kept every event

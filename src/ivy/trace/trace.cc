@@ -16,6 +16,10 @@ const char* to_string(EventKind kind) {
     case EventKind::kMsgSend: return "msg_send";
     case EventKind::kRetransmit: return "retransmit";
     case EventKind::kRemoteOp: return "remote_op";
+    case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kMsgCorrupted: return "msg_corrupted";
+    case EventKind::kRpcBackoff: return "rpc_backoff";
+    case EventKind::kRpcFailed: return "rpc_failed";
     case EventKind::kRpcRequest: return "rpc_request";
     case EventKind::kRpcReplySent: return "rpc_reply_sent";
     case EventKind::kRpcOrphan: return "rpc_orphan";
@@ -64,6 +68,10 @@ Category category_of(EventKind kind) {
     case EventKind::kMsgSend:
     case EventKind::kRetransmit:
     case EventKind::kRemoteOp:
+    case EventKind::kFaultInjected:
+    case EventKind::kMsgCorrupted:
+    case EventKind::kRpcBackoff:
+    case EventKind::kRpcFailed:
     case EventKind::kRpcRequest:
     case EventKind::kRpcReplySent:
     case EventKind::kRpcOrphan:
@@ -101,11 +109,15 @@ const char* arg0_name(EventKind kind) {
         case EventKind::kRemoteOp:
         case EventKind::kMsgSend:
         case EventKind::kRetransmit:
+        case EventKind::kFaultInjected:
+        case EventKind::kMsgCorrupted:
           return "msg_kind";
         case EventKind::kRpcRequest:
         case EventKind::kRpcReplySent:
         case EventKind::kRpcOrphan:
         case EventKind::kRpcCancel:
+        case EventKind::kRpcBackoff:
+        case EventKind::kRpcFailed:
           return "rpc_id";
         default:
           return "arg0";
@@ -129,6 +141,10 @@ const char* arg1_name(EventKind kind) {
     case EventKind::kRpcRequest: return "dst";
     case EventKind::kRpcReplySent: return "requester";
     case EventKind::kRpcOrphan: return "server";
+    case EventKind::kFaultInjected: return "fault_type";
+    case EventKind::kMsgCorrupted: return "src";
+    case EventKind::kRpcBackoff: return "attempt";
+    case EventKind::kRpcFailed: return "dst";
     case EventKind::kMigrateOut: return "to";
     case EventKind::kMigrateIn: return "from";
     case EventKind::kEcAdvance: return "value";

@@ -55,6 +55,15 @@ enum class EventKind : std::uint8_t {
   kMsgSend,          ///< span: frame occupies the ring medium
   kRetransmit,       ///< instant: client re-sent an unanswered request
   kRemoteOp,         ///< span: rpc request -> (last) reply at the client
+  // fault plane (chaos injection and its receiver-side consequences)
+  kFaultInjected,    ///< instant: the fault plane perturbed a delivery
+                     ///  (arg0 = net::MsgKind, arg1 = fault::FaultType)
+  kMsgCorrupted,     ///< instant: receiver discarded a bad-checksum frame
+                     ///  (arg0 = net::MsgKind, arg1 = src)
+  kRpcBackoff,       ///< instant: retransmission delayed exponentially
+                     ///  (arg0 = rpc id, arg1 = attempt number)
+  kRpcFailed,        ///< instant: request failed terminally at the cap
+                     ///  (arg0 = rpc id, arg1 = dst)
   // rpc causality (arg0 = rpc id)
   kRpcRequest,       ///< instant: client issued a request (arg1 = dst)
   kRpcReplySent,     ///< instant: server sent a reply (arg1 = requester)

@@ -1,5 +1,6 @@
 // Unit tests for the simulated token ring: serialization on the shared
-// medium, FIFO delivery, broadcast fan-out, drop injection.
+// medium, FIFO delivery, broadcast fan-out, drop injection, fault-hook
+// mechanics, and frame-checksum verification.
 #include <gtest/gtest.h>
 
 #include "ivy/net/ring.h"
@@ -111,6 +112,114 @@ TEST_F(RingTest, BytesAccountedWithFraming) {
   sim_.run_until_idle();
   EXPECT_EQ(stats_.total(Counter::kBytesOnRing),
             100u + sim_.costs().msg_overhead_bytes);
+}
+
+// Scripted FaultHook: one queued Plan per plan_delivery call, default
+// clean delivery once the script runs out.
+class ScriptedHook : public FaultHook {
+ public:
+  Plan plan_delivery(const Message& msg, NodeId recipient) override {
+    asked.push_back({msg.kind, msg.src, recipient});
+    if (next >= plans.size()) return Plan{};
+    return plans[next++];
+  }
+
+  struct Asked {
+    MsgKind kind;
+    NodeId src;
+    NodeId recipient;
+  };
+  std::vector<Plan> plans;
+  std::size_t next = 0;
+  std::vector<Asked> asked;
+};
+
+TEST_F(RingTest, FaultHookConsultedPerRecipient) {
+  ScriptedHook hook;
+  ring_.set_fault_hook(&hook);
+  ring_.send(make(1, kBroadcast));
+  sim_.run_until_idle();
+  // One plan per recipient of the broadcast, none for the sender.
+  ASSERT_EQ(hook.asked.size(), 3u);
+  for (const auto& a : hook.asked) EXPECT_NE(a.recipient, 1u);
+  EXPECT_EQ(received_.size(), 3u);
+}
+
+TEST_F(RingTest, BroadcastChargesRingTimeOnceUnderPartialDrop) {
+  // A broadcast that loses two of three copies must cost the same ring
+  // time (and byte accounting) as a clean one: the frame circulated
+  // once; per-recipient faults only change who kept a copy.
+  ScriptedHook hook;
+  hook.plans = {{.drop = true}, {.drop = true}, {}};
+  ring_.set_fault_hook(&hook);
+  ring_.send(make(1, kBroadcast, 500));
+  // A trailing unicast lands exactly one transmit slot later, proving
+  // the broadcast held the medium for one slot only.
+  ring_.send(make(0, 2, 500));
+  sim_.run_until_idle();
+  ASSERT_EQ(received_.size(), 2u);  // surviving bcast copy + unicast
+  EXPECT_EQ(received_[1].when - received_[0].when,
+            sim_.costs().transmit_time(500));
+  EXPECT_EQ(stats_.total(Counter::kBroadcasts), 1u);
+  EXPECT_EQ(stats_.total(Counter::kBytesOnRing),
+            2 * (500u + sim_.costs().msg_overhead_bytes));
+}
+
+TEST_F(RingTest, FaultHookDuplicateDeliversTwice) {
+  ScriptedHook hook;
+  hook.plans = {{.duplicate = true, .duplicate_delay = us(7)}};
+  ring_.set_fault_hook(&hook);
+  ring_.send(make(0, 2));
+  sim_.run_until_idle();
+  ASSERT_EQ(received_.size(), 2u);
+  EXPECT_EQ(received_[0].at, 2u);
+  EXPECT_EQ(received_[1].at, 2u);
+  EXPECT_EQ(received_[1].when - received_[0].when, us(7));
+}
+
+TEST_F(RingTest, FaultHookDelayReordersTraffic) {
+  ScriptedHook hook;
+  hook.plans = {{.extra_delay = ms(1)}};
+  ring_.set_fault_hook(&hook);
+  Message first = make(0, 2);
+  first.rpc_id = 1;  // delayed past the second frame
+  Message second = make(0, 2);
+  second.rpc_id = 2;
+  ring_.send(std::move(first));
+  ring_.send(std::move(second));
+  sim_.run_until_idle();
+  ASSERT_EQ(received_.size(), 2u);
+  EXPECT_EQ(received_[0].msg.rpc_id, 2u);
+  EXPECT_EQ(received_[1].msg.rpc_id, 1u);
+}
+
+TEST_F(RingTest, CorruptedFrameDroppedByReceiverChecksum) {
+  ScriptedHook hook;
+  hook.plans = {{.corrupt = true}};
+  ring_.set_fault_hook(&hook);
+  ring_.send(make(0, 2));
+  ring_.send(make(0, 3));  // clean
+  sim_.run_until_idle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at, 3u);
+  EXPECT_EQ(stats_.total(Counter::kChecksumDrops), 1u);
+  EXPECT_EQ(stats_.node_total(2, Counter::kChecksumDrops), 1u);
+}
+
+TEST(MessageChecksum, SealVerifyAndTamper) {
+  Message m;
+  m.src = 3;
+  m.kind = MsgKind::kWriteFault;
+  m.rpc_id = 42;
+  m.origin = 3;
+  m.wire_bytes = 128;
+  seal_message(m);
+  EXPECT_TRUE(message_intact(m));
+  // dst is excluded on purpose: broadcast fan-out rewrites it.
+  m.dst = 7;
+  EXPECT_TRUE(message_intact(m));
+  m.rpc_id = 43;
+  EXPECT_FALSE(message_intact(m));
 }
 
 TEST(RingMisc, MessageKindNamesExist) {

@@ -254,5 +254,120 @@ TEST_F(RpcTest, OrphanReplyHandlerSeesLateDuplicates) {
   EXPECT_NE(first, orphaned);
 }
 
+TEST_F(RpcTest, BackoffSpacesRetransmissionsExponentially) {
+  // Drop every request frame so the client retransmits to its cap; the
+  // replies never happen.  Waits must grow roughly geometrically.
+  op(0).set_request_timeout(ms(10));
+  op(0).set_check_interval(ms(1));
+  op(0).set_max_retransmits(5);
+  std::vector<Time> sent_at;
+  ring_.set_drop_hook([&](const net::Message& msg) {
+    if (!msg.is_reply) sent_at.push_back(sim_.now());
+    return !msg.is_reply;
+  });
+  bool failed = false;
+  op(0).request(
+      1, net::MsgKind::kAllocRequest, Payload{}, 8,
+      [](net::Message&&) { FAIL() << "no reply can arrive"; }, 0,
+      [&](const RequestFailure& f) {
+        failed = true;
+        EXPECT_EQ(f.attempts, 6u);  // original + 5 retransmissions
+        EXPECT_EQ(f.dst, 1u);
+      });
+  sim_.run_until_idle();
+  EXPECT_TRUE(failed);
+  ASSERT_EQ(sent_at.size(), 6u);
+  // First retransmit near the base timeout; later gaps grow (jitter is
+  // +-25%, so each gap is at least 1.5x the previous one's lower bound).
+  const Time gap1 = sent_at[2] - sent_at[1];
+  const Time gap3 = sent_at[4] - sent_at[3];
+  EXPECT_GE(sent_at[1] - sent_at[0], ms(10));
+  EXPECT_GT(gap3, gap1);
+  EXPECT_GE(stats_.total(Counter::kRpcBackoffs), 3u);
+  EXPECT_EQ(stats_.total(Counter::kRpcFailures), 1u);
+  EXPECT_EQ(op(0).outstanding_requests(), 0u);  // no hang, no leak
+}
+
+TEST_F(RpcTest, NodeFailureHandlerCatchesTerminalFailure) {
+  ring_.set_drop_hook(
+      [](const net::Message& msg) { return !msg.is_reply; });
+  op(0).set_request_timeout(ms(10));
+  op(0).set_check_interval(ms(5));
+  op(0).set_max_retransmits(2);
+  int node_level = 0;
+  op(0).set_failure_handler([&](const RequestFailure& f) {
+    ++node_level;
+    EXPECT_EQ(f.kind, net::MsgKind::kReadFault);
+  });
+  op(0).request(1, net::MsgKind::kReadFault, Payload{}, 8,
+                [](net::Message&&) { FAIL() << "no reply can arrive"; });
+  sim_.run_until_idle();
+  EXPECT_EQ(node_level, 1);
+}
+
+TEST_F(RpcTest, DoneCacheEvictionForcesReexecution) {
+  // Regression for the silent-eviction bug: with a tiny done-cache, a
+  // duplicate arriving after its cached reply was pushed out re-executes
+  // the handler.  The counters must make that visible.
+  op(1).set_done_cache_capacity(1);
+  int served = 0;
+  op(1).set_handler(net::MsgKind::kAllocRequest, [&](net::Message&& msg) {
+    ++served;
+    op(1).reply_to(msg, Payload{served}, 8);
+  });
+  // First exchange completes normally and caches its reply...
+  net::Message dup;
+  op(0).request(1, net::MsgKind::kAllocRequest, Payload{}, 8,
+                [&](net::Message&& reply) { dup = std::move(reply); });
+  sim_.run_until_idle();
+  EXPECT_EQ(served, 1);
+  // ...then a second, distinct exchange evicts it (capacity 1)...
+  op(2).request(1, net::MsgKind::kAllocRequest, Payload{}, 8,
+                [](net::Message&&) {});
+  sim_.run_until_idle();
+  EXPECT_EQ(served, 2);
+  EXPECT_GE(stats_.total(Counter::kDoneCacheEvictions), 1u);
+  // ...so a late duplicate of the first request is no longer recognized
+  // and re-executes instead of resending the cached reply.
+  net::Message replay;
+  replay.src = 0;
+  replay.dst = 1;
+  replay.kind = net::MsgKind::kAllocRequest;
+  replay.rpc_id = dup.rpc_id;
+  replay.origin = 0;
+  replay.payload = Payload{};
+  replay.wire_bytes = 8;
+  ring_.send(std::move(replay));
+  sim_.run_until_idle();
+  EXPECT_EQ(served, 3);  // re-executed: the contract tests document
+  EXPECT_GE(stats_.total(Counter::kDupReexecutions), 1u);
+}
+
+TEST_F(RpcTest, DoneCacheWithinCapacityStillSuppressesDuplicates) {
+  // Same replay, ample capacity: answered from the cache, no re-run.
+  int served = 0;
+  op(1).set_handler(net::MsgKind::kAllocRequest, [&](net::Message&& msg) {
+    ++served;
+    op(1).reply_to(msg, Payload{served}, 8);
+  });
+  net::Message dup;
+  op(0).request(1, net::MsgKind::kAllocRequest, Payload{}, 8,
+                [&](net::Message&& reply) { dup = std::move(reply); });
+  sim_.run_until_idle();
+  net::Message replay;
+  replay.src = 0;
+  replay.dst = 1;
+  replay.kind = net::MsgKind::kAllocRequest;
+  replay.rpc_id = dup.rpc_id;
+  replay.origin = 0;
+  replay.payload = Payload{};
+  replay.wire_bytes = 8;
+  ring_.send(std::move(replay));
+  sim_.run_until_idle();
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(stats_.total(Counter::kDoneCacheEvictions), 0u);
+  EXPECT_EQ(stats_.total(Counter::kDupReexecutions), 0u);
+}
+
 }  // namespace
 }  // namespace ivy::rpc
