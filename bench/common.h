@@ -67,6 +67,7 @@ inline void apply_cli(Config& cfg) { cli().apply(cfg); }
 inline void export_run(Runtime& rt, Time elapsed) {
   if (!cli().trace_out.empty()) rt.write_trace(cli().trace_out);
   if (!cli().metrics_out.empty()) rt.write_metrics(cli().metrics_out, elapsed);
+  if (!cli().prof_out.empty()) rt.write_prof(cli().prof_out);
   if (oracle::Oracle* o = rt.oracle()) {
     std::printf("  %s\n", o->brief().c_str());
   }

@@ -127,6 +127,10 @@ int main(int argc, char** argv) {
       rt.write_metrics(flags.metrics_out, elapsed)) {
     std::printf("wrote %s\n", flags.metrics_out.c_str());
   }
+  if (!flags.prof_out.empty() && rt.write_prof(flags.prof_out)) {
+    std::printf("wrote %s (speedscope / flamegraph.pl collapsed)\n",
+                flags.prof_out.c_str());
+  }
   if (ivy::oracle::Oracle* o = rt.oracle()) {
     std::printf("%s\n", o->brief().c_str());
   }

@@ -76,7 +76,9 @@ std::string Stats::summary() const {
     if (h.count() == 0) continue;
     out << hist_names()[i] << ": count=" << h.count() << " mean="
         << static_cast<std::uint64_t>(h.mean()) << " min=" << h.min()
-        << " max=" << h.max() << '\n';
+        << " max=" << h.max() << " p50=" << h.percentile(0.50)
+        << " p90=" << h.percentile(0.90) << " p99=" << h.percentile(0.99)
+        << '\n';
   }
   return out.str();
 }

@@ -22,6 +22,10 @@ namespace trace {
 class Tracer;
 }  // namespace trace
 
+namespace prof {
+class Profiler;
+}  // namespace prof
+
 /// Fixed roster of counters.  Extend freely; names() must match.
 enum class Counter : std::size_t {
   kReadFaults = 0,      ///< read page faults taken
@@ -137,6 +141,37 @@ class Histogram {
                                : std::uint64_t{1} << i;
   }
 
+  /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  /// log2 bucket holding the rank.  Bucket 0 is exact (zeros); the
+  /// estimate is clamped into [min, max] so p99 of a tight distribution
+  /// never exceeds the recorded maximum.
+  [[nodiscard]] std::uint64_t percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (q <= 0.0) return min();
+    if (q >= 1.0) return max_;
+    const double rank = q * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      const auto next = seen + buckets_[b];
+      if (static_cast<double>(next) >= rank) {
+        if (b == 0) return 0;
+        const double in_bucket =
+            (rank - static_cast<double>(seen)) /
+            static_cast<double>(buckets_[b]);
+        const double lo = static_cast<double>(bucket_lo(b));
+        const double hi = static_cast<double>(
+            b >= kBuckets - 1 ? max_ : bucket_hi(b));
+        auto est = static_cast<std::uint64_t>(lo + (hi - lo) * in_bucket);
+        if (est < min_) est = min_;
+        if (est > max_) est = max_;
+        return est;
+      }
+      seen = next;
+    }
+    return max_;
+  }
+
   Histogram& merge(const Histogram& o) {
     for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
     if (o.count_ != 0) {
@@ -236,6 +271,11 @@ class Stats {
   [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
   void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Cost-attribution profiler, or nullptr when profiling is disarmed
+  /// (IVY_PROF checks exactly this pointer).  Stats does not own it.
+  [[nodiscard]] prof::Profiler* prof() const noexcept { return prof_; }
+  void set_prof(prof::Profiler* prof) noexcept { prof_ = prof; }
+
   [[nodiscard]] std::uint64_t node_total(NodeId node, Counter c) const {
     return per_node_[node].get(c);
   }
@@ -275,6 +315,7 @@ class Stats {
   std::vector<CounterBlock> epochs_;
   CounterBlock last_mark_;
   trace::Tracer* tracer_ = nullptr;
+  prof::Profiler* prof_ = nullptr;
 };
 
 }  // namespace ivy

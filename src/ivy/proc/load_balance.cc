@@ -9,6 +9,7 @@
 // message); this file decides when to ask whom.
 #include "ivy/base/log.h"
 #include "ivy/proc/scheduler.h"
+#include "ivy/prof/prof.h"
 #include "ivy/trace/trace.h"
 
 namespace ivy::proc {
@@ -71,11 +72,16 @@ void Scheduler::null_tick() {
   migrate_ask_inflight_ = true;
   IVY_DEBUG() << "idle node " << node_ << " asks node " << target
               << " for work (hint " << best << ")";
+  // One migrate-ask in flight per node, so the wait key is constant.
+  IVY_PROF(stats_, begin_wait(node_, prof::Cat::kMigration,
+                              prof::Domain::kMigrate, 0, sim_.now(), target));
   rpc_.request(
       target, net::MsgKind::kMigrateAsk, MigrateAskPayload{slot.id},
       MigrateAskPayload::kWireBytes,
       [this, &slot, asked = sim_.now()](net::Message&& reply) {
         migrate_ask_inflight_ = false;
+        IVY_PROF(stats_,
+                 end_wait(node_, prof::Domain::kMigrate, 0, sim_.now()));
         auto payload = std::any_cast<MigrateReplyPayload>(reply.payload);
         if (payload.accepted) {
           // The migration latency is ask-to-install: PCB + stack pages

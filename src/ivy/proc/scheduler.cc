@@ -5,6 +5,7 @@
 
 #include "ivy/base/log.h"
 #include "ivy/proc/svm_io.h"
+#include "ivy/prof/prof.h"
 #include "ivy/trace/trace.h"
 
 namespace ivy::proc {
@@ -82,7 +83,10 @@ ProcId Scheduler::spawn(std::function<void()> body, bool migratable) {
   ++proc_count_;
   ++live_.live;
   // Creation bookkeeping occupies this node's CPU briefly.
-  busy_until_ = std::max(busy_until_, sim_.now()) + sim_.costs().proc_create;
+  const Time create_from = std::max(busy_until_, sim_.now());
+  busy_until_ = create_from + sim_.costs().proc_create;
+  IVY_PROF(stats_, charge_busy(node_, create_from, busy_until_,
+                               prof::Cat::kSchedOverhead));
   pcb.state = ProcState::kBlocked;  // make_ready flips it
   make_ready(pcb);
   return pcb.id;
@@ -163,9 +167,12 @@ void Scheduler::dispatch() {
   g_current_sched = nullptr;
   g_current_pcb = nullptr;
 
-  const Time delta = switch_cost + pcb->fiber->take_charge() +
-                     svm_.take_pending_charge();
+  const Time fiber_charge = pcb->fiber->take_charge();
+  const Time svm_charge = svm_.take_pending_charge();
+  const Time delta = switch_cost + fiber_charge + svm_charge;
   busy_until_ = sim_.now() + delta;
+  IVY_PROF(stats_, commit_dispatch(node_, sim_.now(), switch_cost,
+                                   fiber_charge, svm_charge));
   running_ = nullptr;
 
   switch (reason) {
@@ -222,6 +229,22 @@ void Scheduler::charge_current(Time t) {
   Pcb* pcb = g_current_pcb;
   IVY_CHECK_MSG(pcb != nullptr, "charge_current outside a process");
   pcb->fiber->charge(t);
+  // Sole fiber-charge funnel: remember the charge under the active
+  // ChargeScope category so the dispatch commit can split the busy span.
+  Scheduler* sched = g_current_sched;
+  IVY_PROF(sched->stats_, note_fiber_charge(sched->node_, t));
+}
+
+void Scheduler::stall(Time t) {
+  const Time from = std::max(busy_until_, sim_.now());
+  busy_until_ = from + t;
+  // Inside a fiber the same cost also reaches the busy model through the
+  // svm pending charge, which the dispatch commit attributes; charging
+  // here too would double-book it.  Event-context stalls (remote disk
+  // work, evictions during message service) are only visible here.
+  if (running_ == nullptr) {
+    IVY_PROF(stats_, charge_busy(node_, from, busy_until_, prof::Cat::kDisk));
+  }
 }
 
 void Scheduler::set_migratable(bool migratable) {

@@ -99,9 +99,7 @@ class Scheduler {
 
   /// Occupies this node's CPU for `t` starting now (disk I/O without
   /// overlap, per the paper's IVY).
-  void stall(Time t) {
-    busy_until_ = std::max(busy_until_, sim_.now()) + t;
-  }
+  void stall(Time t);
 
  private:
   void schedule_dispatch();

@@ -5,6 +5,7 @@
 
 #include "ivy/base/check.h"
 #include "ivy/base/log.h"
+#include "ivy/prof/prof.h"
 #include "ivy/trace/trace.h"
 
 namespace ivy::rpc {
@@ -150,6 +151,15 @@ void RemoteOp::reply(const PendingReply& pending, std::any payload,
   msg.wire_bytes = wire_bytes;
   IVY_EVT(stats_, record(self_, trace::EventKind::kRpcReplySent,
                          pending.rpc_id, pending.origin));
+  // The server-side software time is manager-duty work; as the lowest
+  // priority wait it only surfaces when the node is otherwise idle (a
+  // busy node's own charges already cover the span).
+  IVY_PROF(stats_, begin_wait(self_, prof::Cat::kManagerService,
+                              prof::Domain::kService, pending.rpc_id,
+                              sim_.now(),
+                              static_cast<std::uint64_t>(pending.kind)));
+  IVY_PROF(stats_, end_wait(self_, prof::Domain::kService, pending.rpc_id,
+                            sim_.now() + sim_.costs().fault_server));
   // Model the server-side software time before the reply hits the wire.
   sim_.schedule_after(sim_.costs().fault_server,
                       [this, m = std::move(msg)]() mutable {
@@ -182,6 +192,8 @@ void RemoteOp::ignore(const net::Message& req) {
 void RemoteOp::cancel(std::uint64_t rpc_id) {
   if (outstanding_.erase(rpc_id) > 0) {
     IVY_EVT(stats_, record(self_, trace::EventKind::kRpcCancel, rpc_id, 0));
+    IVY_PROF(stats_,
+             end_wait(self_, prof::Domain::kRpc, rpc_id, sim_.now()));
   }
 }
 
@@ -255,6 +267,8 @@ void RemoteOp::handle_reply(net::Message&& msg) {
     auto cb = std::move(out.on_all);
     auto replies = std::move(out.replies);
     outstanding_.erase(it);
+    IVY_PROF(stats_,
+             end_wait(self_, prof::Domain::kRpc, msg.rpc_id, sim_.now()));
     record_round_trip(kind_arg, first_sent, kBroadcast);
     cb(std::move(replies));
     return;
@@ -263,6 +277,8 @@ void RemoteOp::handle_reply(net::Message&& msg) {
   const NodeId server = msg.src;
   auto cb = std::move(out.on_reply);
   outstanding_.erase(it);
+  IVY_PROF(stats_,
+           end_wait(self_, prof::Domain::kRpc, msg.rpc_id, sim_.now()));
   record_round_trip(kind_arg, first_sent, server);
   cb(std::move(msg));
 }
@@ -360,6 +376,12 @@ void RemoteOp::retransmit_scan() {
       stats_.bump(self_, Counter::kRpcBackoffs);
       IVY_EVT(stats_, record(self_, trace::EventKind::kRpcBackoff, id,
                              out.retransmits));
+      // From the second retransmit on, the doubling wait dominates the
+      // request latency; charge it as backoff rather than the fault leg.
+      IVY_PROF(stats_,
+               begin_wait(self_, prof::Cat::kBackoff, prof::Domain::kRpc, id,
+                          now,
+                          static_cast<std::uint64_t>(out.original.kind)));
     }
     out.backoff_wait = next_backoff(wait);
     out.last_sent = now;
@@ -388,6 +410,7 @@ Time RemoteOp::next_backoff(Time prev) {
 
 void RemoteOp::fail_request(std::uint64_t id, Outstanding&& out) {
   stats_.bump(self_, Counter::kRpcFailures);
+  IVY_PROF(stats_, end_wait(self_, prof::Domain::kRpc, id, sim_.now()));
   IVY_EVT(stats_, record(self_, trace::EventKind::kRpcFailed, id,
                          out.original.dst == kBroadcast ? kMaxNodes
                                                         : out.original.dst));

@@ -63,6 +63,12 @@ struct Config {
   /// invariants on every transition.  kStrict aborts on the first
   /// violation; kWarn logs and counts.
   oracle::Mode oracle_mode = oracle::Mode::kOff;
+  /// Arm the ivy::prof cost-attribution profiler: every virtual
+  /// nanosecond of every node is charged to one category and the sums
+  /// are verified against elapsed time after each run.
+  bool prof_enabled = false;
+  /// Utilization-timeline slice width (0 = per-run totals only).
+  Time prof_slice = 0;
 
   // --- fault injection -------------------------------------------------------
   /// Fault rules applied per (frame, recipient) between the ring and

@@ -21,6 +21,24 @@ bool parse_manager(const std::string& text, svm::ManagerKind* out) {
   return true;
 }
 
+/// Parses a duration with an optional ms/us/ns suffix (bare numbers are
+/// nanoseconds): "5ms", "250us", "1000".
+bool parse_duration(const char* text, Time* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || v < 0) return false;
+  if (std::strcmp(end, "ms") == 0) {
+    *out = ms(v);
+  } else if (std::strcmp(end, "us") == 0) {
+    *out = us(v);
+  } else if (std::strcmp(end, "ns") == 0 || *end == '\0') {
+    *out = v;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 void ObsFlags::apply(Config& cfg) const {
@@ -32,6 +50,10 @@ void ObsFlags::apply(Config& cfg) const {
   if (manager.has_value()) cfg.manager = *manager;
   if (fault.active()) cfg.fault = fault;
   if (fault_seed.has_value()) cfg.fault_seed = *fault_seed;
+  if (profiling()) {
+    cfg.prof_enabled = true;
+    cfg.prof_slice = prof_slice;
+  }
 }
 
 bool parse_obs_flags(int* argc, char** argv, ObsFlags* out,
@@ -104,6 +126,18 @@ bool parse_obs_flags(int* argc, char** argv, ObsFlags* out,
       if (const char* v = take_value()) {
         out->fault_seed = std::strtoull(v, nullptr, 0);
       }
+    } else if (name == "--prof-out") {
+      if (const char* v = take_value()) out->prof_out = v;
+    } else if (name == "--prof-slice") {
+      if (const char* v = take_value()) {
+        if (!parse_duration(v, &out->prof_slice) || out->prof_slice <= 0) {
+          *error = std::string(
+                       "--prof-slice expects a positive duration "
+                       "(e.g. 5ms, 250us, 1000ns), got ") +
+                   v;
+          ok = false;
+        }
+      }
     } else {
       argv[kept++] = argv[i];  // not ours: keep for the caller
       continue;
@@ -118,7 +152,8 @@ const char* obs_flags_usage() {
   return "[--trace-out PATH] [--metrics-out PATH] [--trace-capacity N]\n"
          "          [--hot-pages N] [--oracle off|warn|strict]\n"
          "          [--manager centralized|fixed|dynamic|broadcast]\n"
-         "          [--fault SPEC] [--fault-seed N]";
+         "          [--fault SPEC] [--fault-seed N]\n"
+         "          [--prof-out PATH] [--prof-slice DUR]";
 }
 
 }  // namespace ivy::runtime

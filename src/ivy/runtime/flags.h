@@ -11,6 +11,8 @@
 //   --oracle MODE         coherence oracle: off | warn | strict
 //   --fault SPEC          fault-injection rules (see ivy/fault/spec.h)
 //   --fault-seed N        seed of the fault plane's private RNG stream
+//   --prof-out PATH       folded-stack cost attribution (speedscope)
+//   --prof-slice DUR      utilization timeline slice (e.g. 5ms, 250us)
 //
 // Both "--flag value" and "--flag=value" spellings are accepted.
 // Recognized flags are REMOVED from argv, so callers parse their own
@@ -36,14 +38,22 @@ struct ObsFlags {
   /// Fault-injection rules (--fault SPEC); empty = no fault plane.
   fault::FaultSpec fault;
   std::optional<std::uint64_t> fault_seed;
+  /// Folded-stack attribution output (--prof-out PATH); arming it (or a
+  /// slice) turns the profiler on.
+  std::string prof_out;
+  /// Utilization-timeline slice width (--prof-slice DUR).
+  Time prof_slice = 0;
 
   [[nodiscard]] bool tracing() const {
     return !trace_out.empty() || hot_pages > 0;
   }
+  [[nodiscard]] bool profiling() const {
+    return !prof_out.empty() || prof_slice > 0;
+  }
   [[nodiscard]] bool any() const {
     return tracing() || !metrics_out.empty() ||
            oracle != oracle::Mode::kOff || manager.has_value() ||
-           fault.active() || fault_seed.has_value();
+           fault.active() || fault_seed.has_value() || profiling();
   }
 
   /// Arms tracing / the oracle / the manager override on a config.

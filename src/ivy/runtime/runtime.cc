@@ -1,6 +1,7 @@
 #include "ivy/runtime/runtime.h"
 
 #include <cstring>
+#include <fstream>
 
 #include "ivy/base/log.h"
 #include "ivy/trace/chrome_trace.h"
@@ -52,6 +53,12 @@ Runtime::Runtime(Config cfg)
       stats_((cfg_.validate(), cfg_.nodes)),
       ring_(sim_, stats_, cfg_.nodes) {
   if (cfg_.trace_enabled) enable_tracing(cfg_.trace_capacity);
+  if (cfg_.prof_enabled) {
+    prof_ = std::make_unique<prof::Profiler>(cfg_.nodes, cfg_.prof_slice);
+    // Like the tracer: hanging the profiler off Stats gives every
+    // IVY_PROF site a single-branch disabled fast path.
+    stats_.set_prof(prof_.get());
+  }
   if (cfg_.oracle_mode != oracle::Mode::kOff) {
     oracle_ = std::make_unique<oracle::Oracle>(
         cfg_.oracle_mode, cfg_.nodes, cfg_.geometry().num_pages,
@@ -158,6 +165,19 @@ Time Runtime::run() {
                                << " processes alive but no events pending");
   }
   const Time elapsed = sim_.now() - start;
+  if (prof_) {
+    // Settle the attribution up to the finish line and hold it to its
+    // contract: every virtual nanosecond of every node is in exactly one
+    // category.
+    prof_->sync_to(sim_.now());
+    std::string why;
+    IVY_CHECK_MSG(prof_->self_check(&why), why);
+    // Keep the attribution as of the program's finish line: later
+    // host-side verification reads drain the simulator further, and
+    // that tail would read as idle time in the run's profile.
+    run_prof_ =
+        std::make_unique<prof::Profiler::Snapshot>(prof_->snapshot());
+  }
   if (oracle_) {
     drain();  // let in-flight handoffs settle so every page is quiescent
     oracle_->final_audit();
@@ -178,7 +198,9 @@ bool Runtime::write_trace(const std::string& path) const {
     IVY_WARN() << "write_trace(" << path << ") with tracing disabled";
     return false;
   }
-  return trace::write_chrome_trace_file(path, tracer_, cfg_.name);
+  if (prof_) prof_->sync_to(sim_.now());
+  return trace::write_chrome_trace_file(path, tracer_, cfg_.name,
+                                        prof_.get());
 }
 
 bool Runtime::write_metrics(const std::string& path, Time elapsed) const {
@@ -187,6 +209,30 @@ bool Runtime::write_metrics(const std::string& path, Time elapsed) const {
   info.elapsed = elapsed;
   return trace::write_metrics_file(
       path, stats_, tracer_.enabled() ? &tracer_ : nullptr, info);
+}
+
+bool Runtime::write_prof(const std::string& path) {
+  if (!prof_) {
+    IVY_WARN() << "write_prof(" << path << ") with the profiler disabled";
+    return false;
+  }
+  prof_->sync_to(sim_.now());
+  std::ofstream out(path);
+  if (!out) {
+    IVY_WARN() << "write_prof: cannot open " << path;
+    return false;
+  }
+  prof_->write_folded(out);
+  if (prof_->slice() > 0) {
+    const std::string csv_path = path + ".util.csv";
+    std::ofstream csv(csv_path);
+    if (!csv) {
+      IVY_WARN() << "write_prof: cannot open " << csv_path;
+      return false;
+    }
+    prof_->write_timeline_csv(csv);
+  }
+  return true;
 }
 
 alloc::SharedHeap& Runtime::heap(NodeId node) {

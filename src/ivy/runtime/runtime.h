@@ -22,6 +22,7 @@
 #include "ivy/alloc/two_level_allocator.h"
 #include "ivy/fault/plane.h"
 #include "ivy/net/ring.h"
+#include "ivy/prof/prof.h"
 #include "ivy/runtime/config.h"
 #include "ivy/runtime/shared.h"
 #include "ivy/sync/barrier.h"
@@ -112,6 +113,17 @@ class Runtime {
   [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
   /// The coherence oracle, or nullptr when cfg.oracle_mode == kOff.
   [[nodiscard]] oracle::Oracle* oracle() { return oracle_.get(); }
+  /// The profiler state as of the end of the most recent run(), or
+  /// nullptr before the first profiled run.  Tools prefer this over the
+  /// live profiler: verification host-reads after a run drain the
+  /// simulator, and that tail is not part of the program's profile.
+  [[nodiscard]] const prof::Profiler::Snapshot* run_prof() const {
+    return run_prof_.get();
+  }
+
+  /// The cost-attribution profiler, or nullptr when cfg.prof_enabled is
+  /// off.  run() syncs it to the clock and self-checks the attribution.
+  [[nodiscard]] prof::Profiler* prof() { return prof_.get(); }
   /// The installed fault plane, or nullptr when cfg.fault is empty.
   [[nodiscard]] fault::FaultPlane* fault_plane() { return fault_plane_.get(); }
   /// Arms the tracer mid-flight (e.g. to trace only a later phase).
@@ -124,6 +136,12 @@ class Runtime {
   /// is on, the hot-page ranking) as JSON — or CSV when `path` ends in
   /// ".csv".  `elapsed` labels the run time in the JSON header.
   bool write_metrics(const std::string& path, Time elapsed = 0) const;
+  /// Writes the profiler's folded-stack attribution (speedscope /
+  /// flamegraph.pl collapsed format) to `path`; with a prof slice armed,
+  /// the per-slice utilization timeline additionally lands in
+  /// `path + ".util.csv"`.  False (with a warning) when the profiler is
+  /// off or on I/O error.
+  bool write_prof(const std::string& path);
 
   /// Runs all still-queued events to completion (straggler deliveries,
   /// retransmission scans).  run() stops the instant the last process
@@ -170,6 +188,8 @@ class Runtime {
   // Declared before nodes_: the per-node Svm instances hold raw observer
   // pointers into the oracle, so it must outlive them.
   std::unique_ptr<oracle::Oracle> oracle_;
+  std::unique_ptr<prof::Profiler> prof_;
+  std::unique_ptr<prof::Profiler::Snapshot> run_prof_;
   std::vector<std::unique_ptr<NodeCtx>> nodes_;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ivy/base/log.h"
+#include "ivy/prof/prof.h"
 #include "ivy/svm/observer.h"
 #include "ivy/trace/trace.h"
 
@@ -144,6 +145,13 @@ void Manager::serve_read(net::Message&& msg, PageId page) {
   svm_.stats().bump(svm_.self(), Counter::kPageTransfers);
   IVY_EVT(svm_.stats(), record(svm_.self(), trace::EventKind::kPageSent, page,
                                msg.origin));
+  // The requester's fault found the owner: its wait moves from the
+  // locate leg to the transfer leg (the profiler is global; the serving
+  // side may retag the requester's wait at zero virtual cost).
+  IVY_PROF(svm_.stats(),
+           retag_wait(msg.origin, prof::Domain::kPageFault, page,
+                      prof::Cat::kReadFaultTransfer,
+                      svm_.simulator().now()));
   if (CoherenceObserver* obs = svm_.observer()) {
     obs->on_read_served(svm_.self(), page, msg.origin);
     svm_.notify_content(page, entry.version, /*at_source=*/true);
@@ -176,6 +184,10 @@ void Manager::serve_write(net::Message&& msg, PageId page) {
   // Two-phase relinquish: keep the token and the data until the new
   // owner's kGrantAck; all requests for the page defer meanwhile.
   note_write_grant(page, msg.origin);
+  IVY_PROF(svm_.stats(),
+           retag_wait(msg.origin, prof::Domain::kPageFault, page,
+                      prof::Cat::kWriteFaultTransfer,
+                      svm_.simulator().now()));
   svm_.rpc().reply_to(msg, grant, grant.wire_bytes());
   svm_.begin_pending_transfer(page, msg.origin, entry.version);
   if (CoherenceObserver* obs = svm_.observer()) {

@@ -5,6 +5,8 @@
 // bench quantifies the cost.
 #include "ivy/svm/manager.h"
 
+#include "ivy/prof/prof.h"
+
 namespace ivy::svm {
 
 BroadcastManager::BroadcastManager(Svm& svm) : Manager(svm) {
@@ -29,8 +31,12 @@ void BroadcastManager::route_initial(PageId page, net::MsgKind kind) {
       [this](net::Message&& reply) { on_grant(std::move(reply)); });
 }
 
-void BroadcastManager::route_request(net::Message&& msg, PageId) {
-  // Not the owner: a broadcast probe that is none of our business.
+void BroadcastManager::route_request(net::Message&& msg, PageId page) {
+  // Not the owner: a broadcast probe that is none of our business.  Still
+  // count it against the requester as a wasted probe hop — it is exactly
+  // the "every fault interrupts every processor" cost the ablation bench
+  // quantifies.
+  IVY_PROF(svm_.stats(), note_hop(msg.origin, page));
   svm_.rpc().ignore(msg);
 }
 

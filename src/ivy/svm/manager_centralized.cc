@@ -9,6 +9,8 @@
 // algorithm achieved with manager-side locks.
 #include "ivy/svm/manager.h"
 
+#include "ivy/prof/prof.h"
+
 namespace ivy::svm {
 
 CentralizedManager::CentralizedManager(Svm& svm) : Manager(svm) {
@@ -55,6 +57,7 @@ void CentralizedManager::route_request(net::Message&& msg, PageId page) {
       owner = svm_.table().at(page).prob_owner;
     }
     IVY_CHECK_NE(owner, svm_.self());
+    IVY_PROF(svm_.stats(), note_hop(msg.origin, page));
     note_forward(msg, page, owner);
     svm_.rpc().forward(std::move(msg), owner);
     return;
@@ -64,6 +67,7 @@ void CentralizedManager::route_request(net::Message&& msg, PageId page) {
   const NodeId next = svm_.table().at(page).prob_owner;
   IVY_CHECK_NE(next, svm_.self());
   // next may equal msg.origin (stale routing); the origin re-issues.
+  IVY_PROF(svm_.stats(), note_hop(msg.origin, page));
   note_forward(msg, page, next);
   svm_.rpc().forward(std::move(msg), next);
 }

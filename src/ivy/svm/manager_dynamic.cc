@@ -14,6 +14,7 @@
 //     hints at a node that never becomes owner breaks the
 //     "hints point forward in ownership time" invariant that guarantees
 //     chains terminate.
+#include "ivy/prof/prof.h"
 #include "ivy/svm/manager.h"
 #include "ivy/svm/observer.h"
 #include "ivy/trace/trace.h"
@@ -48,6 +49,10 @@ void DynamicDistributedManager::route_request(net::Message&& msg,
       obs->on_read_served(svm_.self(), page, msg.origin);
       svm_.notify_content(page, entry.version, /*at_source=*/true);
     }
+    IVY_PROF(svm_.stats(),
+             retag_wait(msg.origin, prof::Domain::kPageFault, page,
+                        prof::Cat::kReadFaultTransfer,
+                        svm_.simulator().now()));
     svm_.rpc().reply_to(msg, grant, grant.wire_bytes());
     return;
   }
@@ -59,6 +64,7 @@ void DynamicDistributedManager::route_request(net::Message&& msg,
   if (msg.kind == net::MsgKind::kWriteFault && next != msg.origin) {
     entry.prob_owner = msg.origin;
   }
+  IVY_PROF(svm_.stats(), note_hop(msg.origin, page));
   note_forward(msg, page, next);
   svm_.rpc().forward(std::move(msg), next);
 }

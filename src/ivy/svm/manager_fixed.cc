@@ -4,6 +4,8 @@
 // We use the paper's most straightforward H(p) = p mod N.
 #include "ivy/svm/manager.h"
 
+#include "ivy/prof/prof.h"
+
 namespace ivy::svm {
 
 FixedDistributedManager::FixedDistributedManager(Svm& svm) : Manager(svm) {
@@ -46,6 +48,7 @@ void FixedDistributedManager::route_request(net::Message&& msg, PageId page) {
       owner = svm_.table().at(page).prob_owner;
     }
     IVY_CHECK_NE(owner, svm_.self());
+    IVY_PROF(svm_.stats(), note_hop(msg.origin, page));
     note_forward(msg, page, owner);
     svm_.rpc().forward(std::move(msg), owner);
     return;
@@ -53,6 +56,7 @@ void FixedDistributedManager::route_request(net::Message&& msg, PageId page) {
   const NodeId next = svm_.table().at(page).prob_owner;
   IVY_CHECK_NE(next, svm_.self());
   // next may equal msg.origin (stale routing); the origin re-issues.
+  IVY_PROF(svm_.stats(), note_hop(msg.origin, page));
   note_forward(msg, page, next);
   svm_.rpc().forward(std::move(msg), next);
 }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ivy/base/log.h"
+#include "ivy/prof/prof.h"
 #include "ivy/svm/manager.h"
 #include "ivy/svm/observer.h"
 #include "ivy/trace/trace.h"
@@ -90,6 +91,13 @@ void Svm::request_access(PageId page, Access want,
   entry.fault_start = sim_.now();
   stats_.bump(self_, want == Access::kRead ? Counter::kReadFaults
                                            : Counter::kWriteFaults);
+  // The fault starts in its locate leg; serving/invalidation sites retag
+  // the wait as the critical path advances, complete_fault ends it.
+  IVY_PROF(stats_, begin_wait(self_,
+                              want == Access::kRead
+                                  ? prof::Cat::kReadFaultLocate
+                                  : prof::Cat::kWriteFaultLocate,
+                              prof::Domain::kPageFault, page, sim_.now()));
   if (entry.owned && entry.on_disk) {
     // Owner's image was paged out: a plain disk fault, no protocol.
     stats_.bump(self_, Counter::kLocalFaultHits);
@@ -163,6 +171,9 @@ void Svm::begin_disk_restore(PageId page) {
   entry.fault_level = Access::kNil;
   entry.fault_start = sim_.now();
   IVY_EVT(stats_, record(self_, trace::EventKind::kDiskFault, page));
+  // Upserts: a fault that peeled into a disk restore moves its wait here.
+  IVY_PROF(stats_, begin_wait(self_, prof::Cat::kDisk,
+                              prof::Domain::kPageFault, page, sim_.now()));
   stats_.record_latency(self_, Hist::kDiskStall, sim_.costs().disk_io);
   stall_node(sim_.costs().disk_io);
   sim_.schedule_after(sim_.costs().disk_io, [this, page] {
@@ -208,6 +219,9 @@ void Svm::complete_fault(PageId page) {
   entry.fault_level = Access::kNil;
   entry.bounce_count = 0;
   entry.lost_retries = 0;
+  // Tolerant for kNil holds that never began a wait (pending transfers).
+  IVY_PROF(stats_,
+           end_wait(self_, prof::Domain::kPageFault, page, sim_.now()));
   if (level != Access::kNil) {
     // kNil marks protocol-internal holds (disk restore, outbound
     // transfer), which account for themselves at their own sites.
@@ -314,6 +328,10 @@ void Svm::invalidate_copies(PageId page, std::function<void()> done) {
     observer_->on_invalidate_round(self_, page, entry.version,
                                    copyset.count());
   }
+  // A fault waiting on this page has reached its invalidation leg (the
+  // leg keeps the wait's read/write family; non-fault waits are left).
+  IVY_PROF(stats_, fault_leg(self_, page, prof::FaultLeg::kInvalidate,
+                             sim_.now()));
   // Wrap the continuation so the full invalidation round (request out to
   // last ack in) is timed, whichever reply scheme runs it.
   done = [this, page, copies = copyset.count(), version = entry.version,
@@ -639,6 +657,11 @@ bool Svm::resend_pending_grant(const net::Message& msg) {
   stats_.bump(self_, Counter::kPageTransfers);
   IVY_EVT(stats_, record(self_, trace::EventKind::kPageSent, payload.page,
                          msg.origin));
+  // The requester's fault is in its transfer leg again (fresh grant on
+  // the wire); the profiler is global, so the serving side may retag it.
+  IVY_PROF(stats_, retag_wait(msg.origin, prof::Domain::kPageFault,
+                              payload.page, prof::Cat::kWriteFaultTransfer,
+                              sim_.now()));
   notify_content(payload.page, it->second.version, /*at_source=*/true);
   rpc_.reply_to(msg, grant, grant.wire_bytes());
   return true;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "ivy/proc/svm_io.h"
+#include "ivy/prof/prof.h"
 #include "ivy/trace/trace.h"
 
 namespace ivy::sync {
@@ -96,12 +97,20 @@ void Eventcount::wait(std::int64_t value) {
                             wait_start, dur,
                             sched->svm().geometry().page_of(base_),
                             static_cast<std::uint64_t>(value)));
+        IVY_PROF(sched->stats(),
+                 end_wait(sched->node(), prof::Domain::kSync,
+                          sched->svm().geometry().page_of(base_),
+                          sched->simulator().now()));
       }
       return;
     }
     if (!blocked) {
       blocked = true;
       wait_start = sched->simulator().now();
+      IVY_PROF(sched->stats(),
+               begin_wait(sched->node(), prof::Cat::kSyncWait,
+                          prof::Domain::kSync,
+                          sched->svm().geometry().page_of(base_), wait_start));
     }
 
     const auto nwaiters = proc::svm_read<std::uint32_t>(base_ + kNWaitersOff);

@@ -1,6 +1,7 @@
 #include "ivy/sync/svm_lock.h"
 
 #include "ivy/proc/svm_io.h"
+#include "ivy/prof/prof.h"
 #include "ivy/trace/trace.h"
 
 namespace ivy::sync {
@@ -16,6 +17,9 @@ void SvmLock::acquire_page() {
   proc::Scheduler* sched = proc::Scheduler::current_scheduler();
   IVY_CHECK_MSG(sched != nullptr, "lock op outside a process");
   proc::ensure_access(base_, kHeaderBytes, svm::Access::kWrite);
+  // Scoped after ensure_access: the fault above may yield, and a scope
+  // across a yield would leak into whatever fiber runs meanwhile.
+  prof::ChargeScope spin(sched->stats().prof(), prof::Cat::kLockSpin);
   proc::Scheduler::charge_current(sched->simulator().costs().test_and_set);
 }
 
@@ -47,12 +51,20 @@ void SvmLock::lock() {
                 record_span(sched->node(), trace::EventKind::kLockWait,
                             wait_start, dur,
                             sched->svm().geometry().page_of(base_)));
+        IVY_PROF(sched->stats(),
+                 end_wait(sched->node(), prof::Domain::kLock,
+                          sched->svm().geometry().page_of(base_),
+                          sched->simulator().now()));
       }
       return;
     }
     if (!contended) {
       contended = true;
       wait_start = sched->simulator().now();
+      IVY_PROF(sched->stats(),
+               begin_wait(sched->node(), prof::Cat::kLockWait,
+                          prof::Domain::kLock,
+                          sched->svm().geometry().page_of(base_), wait_start));
     }
     // Enqueue and sleep until an unlock wakes us; then contend again.
     const auto nwaiters = proc::svm_read<std::uint32_t>(base_ + kNWaitersOff);

@@ -898,4 +898,303 @@ std::string render_report(const LoadedTrace& trace,
   return out.str();
 }
 
+// --- perf-baseline bench files ----------------------------------------
+
+Time BenchPoint::category_total(const std::string& cat) const {
+  Time total = 0;
+  for (const auto& node : per_node) {
+    const auto it = node.find(cat);
+    if (it != node.end()) total += it->second;
+  }
+  return total;
+}
+
+const BenchPoint* BenchFile::find(const std::string& workload,
+                                  const std::string& manager,
+                                  std::uint32_t nodes) const {
+  for (const BenchPoint& p : points) {
+    if (p.workload == workload && p.manager == manager && p.nodes == nodes) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+bool load_bench_json(const std::string& path, BenchFile* out,
+                     std::string* error) {
+  Json root;
+  if (!parse_file(path, &root, error)) return false;
+  if (root.type != Json::kObj) {
+    *error = "bench file is not a JSON object";
+    return false;
+  }
+  *out = BenchFile{};
+  if (const Json* v = root.find("name")) out->name = v->str;
+  if (const Json* v = root.find("reduced")) out->reduced = v->boolean;
+  const Json* points = root.find("points");
+  if (points == nullptr || points->type != Json::kArr) {
+    *error = "bench file has no \"points\" array";
+    return false;
+  }
+  for (const Json& jp : points->arr) {
+    BenchPoint p;
+    if (const Json* v = jp.find("workload")) p.workload = v->str;
+    if (const Json* v = jp.find("manager")) p.manager = v->str;
+    if (const Json* v = jp.find("nodes")) {
+      p.nodes = static_cast<std::uint32_t>(v->as_u64());
+    }
+    if (const Json* v = jp.find("elapsed_ns")) {
+      p.elapsed = static_cast<Time>(v->as_u64());
+    }
+    if (const Json* v = jp.find("accounted_ns")) {
+      p.accounted = static_cast<Time>(v->as_u64());
+    }
+    if (const Json* v = jp.find("verified")) p.verified = v->boolean;
+    if (const Json* v = jp.find("hops_read")) p.hops_read = v->as_u64();
+    if (const Json* v = jp.find("hops_write")) p.hops_write = v->as_u64();
+    if (const Json* c = jp.find("counters"); c != nullptr &&
+        c->type == Json::kObj) {
+      for (const auto& [k, v] : c->obj) p.counters[k] = v.as_u64();
+    }
+    if (const Json* pn = jp.find("per_node"); pn != nullptr &&
+        pn->type == Json::kArr) {
+      for (const Json& jn : pn->arr) {
+        std::map<std::string, Time> cats;
+        for (const auto& [k, v] : jn.obj) {
+          cats[k] = static_cast<Time>(v.as_u64());
+        }
+        p.per_node.push_back(std::move(cats));
+      }
+    }
+    if (p.workload.empty() || p.manager.empty() || p.nodes == 0) {
+      *error = "bench point missing workload/manager/nodes";
+      return false;
+    }
+    out->points.push_back(std::move(p));
+  }
+  return true;
+}
+
+namespace {
+
+std::string point_key(const BenchPoint& p) {
+  return p.workload + "/" + p.manager + "/N=" + std::to_string(p.nodes);
+}
+
+std::uint64_t counter_of(const BenchPoint& p, const std::string& name) {
+  const auto it = p.counters.find(name);
+  return it == p.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+std::vector<std::string> bench_audit(const BenchFile& bench) {
+  std::vector<std::string> findings;
+  const auto flag = [&](const BenchPoint& p, const std::string& what) {
+    findings.push_back(point_key(p) + ": " + what);
+  };
+  // Wait-category -> counters that must be nonzero if any node spent
+  // time there.  A profiler category with no backing counter means the
+  // two observability paths disagree about what happened.
+  struct Implication {
+    const char* cat;
+    std::vector<const char*> counters;  // at least one must be nonzero
+  };
+  static const std::vector<Implication> kImplications = {
+      {"read_fault_locate", {"read_faults"}},
+      {"read_fault_transfer", {"read_faults"}},
+      {"read_fault_invalidate", {"read_faults"}},
+      {"write_fault_locate", {"write_faults"}},
+      {"write_fault_transfer", {"write_faults"}},
+      {"write_fault_invalidate", {"write_faults"}},
+      {"lock_wait", {"lock_acquisitions"}},
+      {"lock_spin", {"lock_acquisitions"}},
+      {"sync_wait", {"ec_waits"}},
+      {"backoff", {"rpc_backoffs"}},
+      {"migration", {"migrations", "migration_rejects"}},
+      {"disk", {"disk_reads", "disk_writes"}},
+  };
+  for (const BenchPoint& p : bench.points) {
+    if (!p.verified) flag(p, "workload did not verify");
+    if (p.per_node.size() != p.nodes) {
+      flag(p, "per_node has " + std::to_string(p.per_node.size()) +
+                  " entries for " + std::to_string(p.nodes) + " nodes");
+      continue;
+    }
+    if (p.accounted < p.elapsed) {
+      flag(p, "accounted_ns " + std::to_string(p.accounted) +
+                  " < elapsed_ns " + std::to_string(p.elapsed));
+    }
+    // The tentpole invariant: every node's categories sum to the
+    // accounted virtual time exactly — no cycle unattributed, none
+    // double-counted.
+    for (std::size_t n = 0; n < p.per_node.size(); ++n) {
+      Time sum = 0;
+      for (const auto& [cat, ns] : p.per_node[n]) sum += ns;
+      if (sum != p.accounted) {
+        flag(p, "node " + std::to_string(n) + " categories sum to " +
+                    std::to_string(sum) + " ns, accounted is " +
+                    std::to_string(p.accounted) + " ns");
+      }
+    }
+    for (const Implication& imp : kImplications) {
+      if (p.category_total(imp.cat) == 0) continue;
+      bool backed = false;
+      for (const char* c : imp.counters) {
+        if (counter_of(p, c) > 0) backed = true;
+      }
+      if (!backed) {
+        std::string need;
+        for (const char* c : imp.counters) {
+          if (!need.empty()) need += "+";
+          need += c;
+        }
+        flag(p, std::string(imp.cat) + " time recorded but " + need +
+                    " == 0");
+      }
+    }
+    if (p.hops_read + p.hops_write > 0 && counter_of(p, "forwards") == 0 &&
+        counter_of(p, "broadcasts") == 0) {
+      flag(p, "fault hops recorded but forwards == broadcasts == 0");
+    }
+  }
+  return findings;
+}
+
+std::string render_waterfall(const BenchFile& bench) {
+  std::ostringstream out;
+  // Group the sweep by (workload, manager), ascending node count.
+  std::map<std::pair<std::string, std::string>, std::vector<const BenchPoint*>>
+      groups;
+  for (const BenchPoint& p : bench.points) {
+    groups[{p.workload, p.manager}].push_back(&p);
+  }
+  for (auto& [key, pts] : groups) {
+    std::sort(pts.begin(), pts.end(),
+              [](const BenchPoint* a, const BenchPoint* b) {
+                return a->nodes < b->nodes;
+              });
+    out << "\n-- speedup-loss waterfall: " << key.first << " / " << key.second
+        << " --\n";
+    const BenchPoint* base = pts.front()->nodes == 1 ? pts.front() : nullptr;
+    if (base == nullptr) {
+      out << "  (no single-node point; cannot decompose loss)\n";
+      continue;
+    }
+    for (const BenchPoint* p : pts) {
+      out << "  N=" << p->nodes << "  T=" << format_us(p->elapsed);
+      if (p->nodes == 1) {
+        out << "  (baseline)\n";
+        continue;
+      }
+      const double speedup = p->elapsed == 0
+                                 ? 0.0
+                                 : static_cast<double>(base->elapsed) /
+                                       static_cast<double>(p->elapsed);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "  speedup %.2f of %u", speedup,
+                    p->nodes);
+      out << buf << "\n";
+      // Exact decomposition over accounted vtime:
+      //   N*T_N - T_1 == sum_cats(N nodes) - sum_cats(1 node)
+      // because each point's categories sum to accounted per node.
+      const Time loss = static_cast<Time>(p->nodes) * p->accounted -
+                        base->accounted;
+      out << "     loss N*T-T1 = " << format_us(loss)
+          << ", by category (delta vs baseline):\n";
+      std::set<std::string> cats;
+      for (const auto& node : p->per_node) {
+        for (const auto& [c, ns] : node) cats.insert(c);
+      }
+      for (const auto& node : base->per_node) {
+        for (const auto& [c, ns] : node) cats.insert(c);
+      }
+      std::vector<std::pair<std::string, Time>> deltas;
+      Time reconciled = 0;
+      for (const std::string& c : cats) {
+        const Time d = p->category_total(c) - base->category_total(c);
+        reconciled += d;
+        if (d != 0) {
+          deltas.emplace_back(c == "compute" ? "extra_compute" : c, d);
+        }
+      }
+      std::sort(deltas.begin(), deltas.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second > b.second;
+                });
+      for (const auto& [c, d] : deltas) {
+        const double pct = loss == 0 ? 0.0
+                                     : 100.0 * static_cast<double>(d) /
+                                           static_cast<double>(loss);
+        char row[128];
+        std::snprintf(row, sizeof(row), "       %-22s %12s  %5.1f%%",
+                      c.c_str(), format_us(d).c_str(), pct);
+        out << row << "\n";
+      }
+      if (reconciled != loss) {
+        out << "       ! category deltas sum to " << format_us(reconciled)
+            << ", not " << format_us(loss) << " (attribution leak)\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+std::vector<CompareRow> compare_bench(const BenchFile& older,
+                                      const BenchFile& newer,
+                                      double tolerance) {
+  std::vector<CompareRow> rows;
+  for (const BenchPoint& was : older.points) {
+    CompareRow row;
+    row.key = point_key(was);
+    row.old_elapsed = was.elapsed;
+    const BenchPoint* now = newer.find(was.workload, was.manager, was.nodes);
+    if (now == nullptr) {
+      row.missing = true;
+      rows.push_back(std::move(row));
+      continue;
+    }
+    row.new_elapsed = now->elapsed;
+    row.ratio = was.elapsed == 0 ? 0.0
+                                 : static_cast<double>(now->elapsed) /
+                                       static_cast<double>(was.elapsed);
+    row.within = was.elapsed != 0 &&
+                 std::abs(row.ratio - 1.0) <= tolerance;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string render_compare(const std::vector<CompareRow>& rows,
+                           double tolerance) {
+  std::ostringstream out;
+  char hdr[128];
+  std::snprintf(hdr, sizeof(hdr), "%-28s %12s %12s %8s  %s\n", "point",
+                "old", "new", "ratio", "status");
+  out << hdr;
+  std::size_t regressions = 0;
+  for (const CompareRow& row : rows) {
+    char line[160];
+    if (row.missing) {
+      std::snprintf(line, sizeof(line), "%-28s %12s %12s %8s  MISSING\n",
+                    row.key.c_str(), format_us(row.old_elapsed).c_str(), "-",
+                    "-");
+      ++regressions;
+    } else {
+      std::snprintf(line, sizeof(line), "%-28s %12s %12s %8.3f  %s\n",
+                    row.key.c_str(), format_us(row.old_elapsed).c_str(),
+                    format_us(row.new_elapsed).c_str(), row.ratio,
+                    row.within ? "ok" : "REGRESSION");
+      if (!row.within) ++regressions;
+    }
+    out << line;
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                "%zu point(s) outside tolerance %.0f%% (of %zu)\n",
+                regressions, tolerance * 100.0, rows.size());
+  out << tail;
+  return out.str();
+}
+
 }  // namespace ivy::trace

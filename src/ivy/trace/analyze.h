@@ -196,4 +196,67 @@ struct CrossCheckRow {
                                         const MetricsSummary* metrics,
                                         std::size_t top_n = 10);
 
+// --- perf-baseline bench files (tools/ivy-bench) ----------------------
+
+/// One sweep cell of an ivy-bench run: (workload, manager, nodes) with
+/// its virtual times and the profiler's per-node cost attribution.
+struct BenchPoint {
+  std::string workload;
+  std::string manager;
+  std::uint32_t nodes = 0;
+  Time elapsed = 0;    ///< workload-reported elapsed (speedup math)
+  Time accounted = 0;  ///< profiler-attributed vtime (== Σ categories)
+  bool verified = false;
+  std::uint64_t hops_read = 0;   ///< forwarding hops on read faults
+  std::uint64_t hops_write = 0;  ///< forwarding hops on write faults
+  std::map<std::string, std::uint64_t> counters;
+  /// One category-name -> nanoseconds map per node.
+  std::vector<std::map<std::string, Time>> per_node;
+
+  [[nodiscard]] Time category_total(const std::string& cat) const;
+};
+
+struct BenchFile {
+  std::string name;
+  bool reduced = false;
+  std::vector<BenchPoint> points;
+
+  [[nodiscard]] const BenchPoint* find(const std::string& workload,
+                                       const std::string& manager,
+                                       std::uint32_t nodes) const;
+};
+
+bool load_bench_json(const std::string& path, BenchFile* out,
+                     std::string* error);
+
+/// Audits a bench file's internal consistency: every node's category
+/// sums equal the accounted time exactly, and each nonzero wait
+/// category is backed by the matching live counter (fault legs imply
+/// faults, lock_wait implies lock_acquisitions, backoff implies
+/// rpc_backoffs, ...).  Empty result = clean.
+[[nodiscard]] std::vector<std::string> bench_audit(const BenchFile& bench);
+
+/// The speedup-loss waterfall: for each (workload, manager) sweep,
+/// decomposes N*T_N - T_1 into per-category losses (the category deltas
+/// sum to the loss exactly) and names the dominant loss.
+[[nodiscard]] std::string render_waterfall(const BenchFile& bench);
+
+/// One (workload, manager, nodes) regression-comparison row.
+struct CompareRow {
+  std::string key;
+  Time old_elapsed = 0;
+  Time new_elapsed = 0;
+  double ratio = 0.0;   ///< new / old
+  bool within = false;  ///< |ratio - 1| <= tolerance (and both present)
+  bool missing = false; ///< in the baseline but absent from the new file
+};
+
+/// Pairs the two files' points by (workload, manager, nodes); points
+/// only in `newer` are ignored (a grown sweep is not a regression).
+[[nodiscard]] std::vector<CompareRow> compare_bench(const BenchFile& older,
+                                                    const BenchFile& newer,
+                                                    double tolerance);
+[[nodiscard]] std::string render_compare(const std::vector<CompareRow>& rows,
+                                         double tolerance);
+
 }  // namespace ivy::trace

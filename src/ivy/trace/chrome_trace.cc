@@ -31,7 +31,8 @@ void put_metadata(std::ostream& out, const char* what, NodeId pid, int tid,
 }  // namespace
 
 void write_chrome_trace(std::ostream& out, const Tracer& tracer,
-                        const std::string& machine_name) {
+                        const std::string& machine_name,
+                        const prof::Profiler* prof) {
   out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
   bool first = true;
 
@@ -82,17 +83,44 @@ void write_chrome_trace(std::ostream& out, const Tracer& tracer,
     out << "}}";
   });
 
+  // Utilization counter tracks: one "C" sample per slice per node, with
+  // the slice's nanoseconds split by category.  Perfetto stacks them
+  // into an area chart alongside the event tracks.
+  if (prof != nullptr && prof->slice() > 0) {
+    const Time slice = prof->slice();
+    for (NodeId n = 0; n < prof->nodes(); ++n) {
+      const auto& bins = prof->slices(n);
+      for (std::size_t b = 0; b < bins.size(); ++b) {
+        if (!first) out << ",\n";
+        first = false;
+        out << R"(    {"name":"utilization","ph":"C","pid":)" << n
+            << R"(,"ts":)";
+        put_us(out, static_cast<Time>(b) * slice);
+        out << R"(,"args":{)";
+        bool first_cat = true;
+        for (std::size_t c = 0; c < prof::kCatCount; ++c) {
+          if (bins[b][c] == 0) continue;
+          if (!first_cat) out << ',';
+          first_cat = false;
+          out << '"' << prof::cat_names()[c] << "\":" << bins[b][c];
+        }
+        out << "}}";
+      }
+    }
+  }
+
   out << "\n  ]\n}\n";
 }
 
 bool write_chrome_trace_file(const std::string& path, const Tracer& tracer,
-                             const std::string& machine_name) {
+                             const std::string& machine_name,
+                             const prof::Profiler* prof) {
   std::ofstream out(path);
   if (!out) {
     IVY_WARN() << "cannot open trace output file " << path;
     return false;
   }
-  write_chrome_trace(out, tracer, machine_name);
+  write_chrome_trace(out, tracer, machine_name, prof);
   return static_cast<bool>(out);
 }
 

@@ -9,17 +9,23 @@
 #include <iosfwd>
 #include <string>
 
+#include "ivy/prof/prof.h"
 #include "ivy/trace/trace.h"
 
 namespace ivy::trace {
 
 /// Writes the retained events of `tracer` as Chrome trace JSON.
 /// `machine_name` labels the trace (shown as process-name suffix).
+/// With a profiler whose slice() > 0, each node additionally gets "C"
+/// counter tracks: one utilization sample per slice with the per-category
+/// share of that slice (stacked area chart in Perfetto).
 void write_chrome_trace(std::ostream& out, const Tracer& tracer,
-                        const std::string& machine_name = "ivy");
+                        const std::string& machine_name = "ivy",
+                        const prof::Profiler* prof = nullptr);
 
 /// File convenience wrapper; returns false (and logs) on I/O failure.
 bool write_chrome_trace_file(const std::string& path, const Tracer& tracer,
-                             const std::string& machine_name = "ivy");
+                             const std::string& machine_name = "ivy",
+                             const prof::Profiler* prof = nullptr);
 
 }  // namespace ivy::trace

@@ -32,6 +32,12 @@ void put_histogram(std::ostream& out, const Histogram& h,
       << indent << "  \"max\": " << h.max() << ",\n"
       << indent << "  \"mean\": " << static_cast<std::uint64_t>(h.mean())
       << ",\n"
+      << indent << "  \"p50\": " << static_cast<std::uint64_t>(h.percentile(0.50))
+      << ",\n"
+      << indent << "  \"p90\": " << static_cast<std::uint64_t>(h.percentile(0.90))
+      << ",\n"
+      << indent << "  \"p99\": " << static_cast<std::uint64_t>(h.percentile(0.99))
+      << ",\n"
       << indent << "  \"buckets\": [";
   bool first = true;
   for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {

@@ -220,5 +220,120 @@ TEST(AnalyzeGolden, RejectsMalformedJson) {
   EXPECT_FALSE(error.empty());
 }
 
+// --- bench files (ivy-bench / --bench / --compare) --------------------
+
+/// A hand-written two-point sweep: a clean single-node baseline and a
+/// four-node point whose categories sum exactly, faults backed by
+/// counters.
+std::string write_bench(const std::string& name, Time n4_elapsed) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  out << R"({
+  "name": "golden", "reduced": true,
+  "points": [
+    {"workload": "jacobi", "manager": "dynamic", "nodes": 1,
+     "elapsed_ns": 1000, "accounted_ns": 1000, "verified": true,
+     "hops_read": 0, "hops_write": 0,
+     "counters": {"read_faults": 2},
+     "per_node": [{"compute": 900, "read_fault_transfer": 100}]},
+    {"workload": "jacobi", "manager": "dynamic", "nodes": 4,
+     "elapsed_ns": )" << n4_elapsed << R"(, "accounted_ns": 500,
+     "verified": true, "hops_read": 3, "hops_write": 1,
+     "counters": {"read_faults": 8, "write_faults": 2, "forwards": 4},
+     "per_node": [{"compute": 300, "read_fault_locate": 200},
+                  {"compute": 250, "write_fault_invalidate": 250},
+                  {"compute": 240, "idle": 260},
+                  {"compute": 210, "read_fault_transfer": 290}]}
+  ]
+})";
+  return path;
+}
+
+TEST(AnalyzeBench, LoadsAuditsAndDecomposesExactly) {
+  const std::string path = write_bench("ivy_bench_golden.json", 500);
+  BenchFile bench;
+  std::string error;
+  ASSERT_TRUE(load_bench_json(path, &bench, &error)) << error;
+  EXPECT_EQ(bench.name, "golden");
+  EXPECT_TRUE(bench.reduced);
+  ASSERT_EQ(bench.points.size(), 2u);
+  ASSERT_NE(bench.find("jacobi", "dynamic", 4), nullptr);
+  EXPECT_EQ(bench.find("jacobi", "dynamic", 4)->hops_read, 3u);
+  EXPECT_EQ(bench.points[1].category_total("compute"), 1000);
+
+  EXPECT_TRUE(bench_audit(bench).empty());
+
+  const std::string waterfall = render_waterfall(bench);
+  EXPECT_NE(waterfall.find("jacobi / dynamic"), std::string::npos);
+  // loss = 4*500 - 1000 = 1000 ns, decomposed without a leak.
+  EXPECT_EQ(waterfall.find("attribution leak"), std::string::npos)
+      << waterfall;
+  EXPECT_NE(waterfall.find("extra_compute"), std::string::npos);
+}
+
+TEST(AnalyzeBench, AuditCatchesLeaksAndUnbackedCategories) {
+  const std::string path = testing::TempDir() + "ivy_bench_broken.json";
+  {
+    std::ofstream out(path);
+    // Node sums 900 != accounted 1000, and lock_wait has no
+    // lock_acquisitions behind it.
+    out << R"({"name": "broken", "reduced": false, "points": [
+      {"workload": "tsp", "manager": "fixed", "nodes": 1,
+       "elapsed_ns": 800, "accounted_ns": 1000, "verified": false,
+       "counters": {},
+       "per_node": [{"compute": 700, "lock_wait": 200}]}
+    ]})";
+  }
+  BenchFile bench;
+  std::string error;
+  ASSERT_TRUE(load_bench_json(path, &bench, &error)) << error;
+  const auto findings = bench_audit(bench);
+  ASSERT_GE(findings.size(), 3u);
+  bool saw_sum = false;
+  bool saw_unbacked = false;
+  bool saw_unverified = false;
+  for (const std::string& f : findings) {
+    saw_sum |= f.find("categories sum to 900") != std::string::npos;
+    saw_unbacked |= f.find("lock_wait") != std::string::npos;
+    saw_unverified |= f.find("did not verify") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_sum);
+  EXPECT_TRUE(saw_unbacked);
+  EXPECT_TRUE(saw_unverified);
+}
+
+TEST(AnalyzeBench, CompareGatesOnToleranceAndMissingPoints) {
+  const std::string base = write_bench("ivy_bench_base.json", 500);
+  const std::string within = write_bench("ivy_bench_within.json", 520);
+  const std::string drifted = write_bench("ivy_bench_drift.json", 800);
+  BenchFile b0;
+  BenchFile b1;
+  BenchFile b2;
+  std::string error;
+  ASSERT_TRUE(load_bench_json(base, &b0, &error)) << error;
+  ASSERT_TRUE(load_bench_json(within, &b1, &error)) << error;
+  ASSERT_TRUE(load_bench_json(drifted, &b2, &error)) << error;
+
+  auto rows = compare_bench(b0, b1, 0.10);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const CompareRow& row : rows) {
+    EXPECT_TRUE(row.within) << row.key;
+    EXPECT_FALSE(row.missing);
+  }
+
+  rows = compare_bench(b0, b2, 0.10);
+  EXPECT_TRUE(rows[0].within);                        // baseline unchanged
+  EXPECT_FALSE(rows[1].within);                       // 500 -> 800 is 60%
+  EXPECT_NEAR(rows[1].ratio, 1.6, 1e-9);
+  const std::string rendered = render_compare(rows, 0.10);
+  EXPECT_NE(rendered.find("REGRESSION"), std::string::npos);
+
+  // A point the new file dropped entirely is also a gate failure.
+  b2.points.pop_back();
+  rows = compare_bench(b0, b2, 0.10);
+  EXPECT_TRUE(rows[1].missing);
+  EXPECT_NE(render_compare(rows, 0.10).find("MISSING"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ivy::trace

@@ -2,9 +2,11 @@
 //
 // Usage:
 //   ivy-analyze <trace.json> [metrics.json] [--top N] [--check]
+//   ivy-analyze --bench <bench.json> [--check]
+//   ivy-analyze --compare <old.json> <new.json> [--tolerance X]
 //
-// Reads the Chrome trace written by --trace-out and (optionally) the
-// metrics JSON written by --metrics-out, and prints:
+// Trace mode reads the Chrome trace written by --trace-out and
+// (optionally) the metrics JSON written by --metrics-out, and prints:
 //   * per-fault critical-path breakdown (locate / transfer / invalidate /
 //     resume legs, plus the slowest individual faults),
 //   * per-page contention with ping-pong counts and activity timelines,
@@ -12,9 +14,22 @@
 //   * rpc causality audit (every reply matched to a request),
 //   * trace-derived counts cross-checked against the live counters.
 //
-// With --check the exit status reflects the audit: 1 when a cross-check
-// row mismatches or the causality audit flags an anomaly on a complete
-// window, 0 otherwise.  Parse failures exit 2.
+// Bench mode reads a BENCH_PR4.json written by tools/ivy-bench, audits
+// it (every node's profiler categories must sum to the accounted
+// virtual time exactly, and each nonzero wait category must be backed
+// by its live counter), and prints the speedup-loss waterfall: for each
+// (workload, manager) sweep, N*T_N - T_1 decomposed into per-category
+// losses that reconcile exactly.
+//
+// Compare mode is the regression gate: it pairs two bench files by
+// (workload, manager, nodes) and fails when any baseline point's
+// elapsed time drifts by more than --tolerance (default 0.10, i.e.
+// 10%) in either direction — in a deterministic simulator any drift
+// means behavior changed.
+//
+// With --check the exit status reflects the audit: 1 on a failed
+// cross-check / causality / bench audit; --compare always gates.
+// Parse failures exit 2.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,10 +40,66 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <trace.json> [metrics.json] [--top N] [--check]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s <trace.json> [metrics.json] [--top N] [--check]\n"
+      "       %s --bench <bench.json> [--check]\n"
+      "       %s --compare <old.json> <new.json> [--tolerance X]\n",
+      argv0, argv0, argv0);
   return 2;
+}
+
+int run_bench_mode(const std::string& path, bool check) {
+  std::string error;
+  ivy::trace::BenchFile bench;
+  if (!ivy::trace::load_bench_json(path, &bench, &error)) {
+    std::fprintf(stderr, "ivy-analyze: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  std::printf("bench \"%s\"%s: %zu point(s)\n", bench.name.c_str(),
+              bench.reduced ? " (reduced)" : "", bench.points.size());
+  const auto findings = ivy::trace::bench_audit(bench);
+  if (findings.empty()) {
+    std::printf("attribution audit: clean\n");
+  } else {
+    for (const std::string& f : findings) {
+      std::printf("  ! %s\n", f.c_str());
+    }
+  }
+  std::fputs(ivy::trace::render_waterfall(bench).c_str(), stdout);
+  if (check && !findings.empty()) {
+    std::fprintf(stderr, "ivy-analyze: bench audit FAILED (%zu finding(s))\n",
+                 findings.size());
+    return 1;
+  }
+  return 0;
+}
+
+int run_compare_mode(const std::string& old_path, const std::string& new_path,
+                     double tolerance) {
+  std::string error;
+  ivy::trace::BenchFile older;
+  ivy::trace::BenchFile newer;
+  if (!ivy::trace::load_bench_json(old_path, &older, &error)) {
+    std::fprintf(stderr, "ivy-analyze: %s: %s\n", old_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (!ivy::trace::load_bench_json(new_path, &newer, &error)) {
+    std::fprintf(stderr, "ivy-analyze: %s: %s\n", new_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const auto rows = ivy::trace::compare_bench(older, newer, tolerance);
+  std::fputs(ivy::trace::render_compare(rows, tolerance).c_str(), stdout);
+  for (const auto& row : rows) {
+    if (row.missing || !row.within) {
+      std::fprintf(stderr, "ivy-analyze: perf regression gate FAILED\n");
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -36,7 +107,11 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  std::string bench_path;
+  std::string compare_old;
+  std::string compare_new;
   std::size_t top_n = 10;
+  double tolerance = 0.10;
   bool check = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -46,6 +121,15 @@ int main(int argc, char** argv) {
       top_n = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strncmp(arg, "--top=", 6) == 0) {
       top_n = static_cast<std::size_t>(std::strtoull(arg + 6, nullptr, 10));
+    } else if (std::strcmp(arg, "--bench") == 0 && i + 1 < argc) {
+      bench_path = argv[++i];
+    } else if (std::strcmp(arg, "--compare") == 0 && i + 2 < argc) {
+      compare_old = argv[++i];
+      compare_new = argv[++i];
+    } else if (std::strcmp(arg, "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+      tolerance = std::strtod(arg + 12, nullptr);
     } else if (arg[0] == '-') {
       return usage(argv[0]);
     } else if (trace_path.empty()) {
@@ -56,6 +140,14 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  if (tolerance < 0.0) {
+    std::fprintf(stderr, "ivy-analyze: --tolerance must be >= 0\n");
+    return 2;
+  }
+  if (!compare_old.empty()) {
+    return run_compare_mode(compare_old, compare_new, tolerance);
+  }
+  if (!bench_path.empty()) return run_bench_mode(bench_path, check);
   if (trace_path.empty()) return usage(argv[0]);
 
   std::string error;
