@@ -39,6 +39,9 @@ const std::array<const char*, kCounterCount>& counter_names() {
       "alloc_calls",
       "alloc_remote_calls",
       "free_calls",
+      "multicasts",
+      "bodyless_upgrades",
+      "invalidate_multicasts",
   };
   return kNames;
 }

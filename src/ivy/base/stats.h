@@ -61,6 +61,9 @@ enum class Counter : std::size_t {
   kAllocCalls,          ///< shared-memory allocations
   kAllocRemoteCalls,    ///< allocations that required an RPC to the central node
   kFreeCalls,           ///< shared-memory frees
+  kMulticasts,          ///< ring multicast frames transmitted
+  kBodylessUpgrades,    ///< write grants sent without a page body (in-place upgrade)
+  kInvalidateMulticasts,///< invalidation rounds that used one multicast frame
   kCount                // sentinel
 };
 

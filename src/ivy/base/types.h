@@ -29,6 +29,11 @@ inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 /// Destination value meaning "all nodes" for ring broadcast.
 inline constexpr NodeId kBroadcast = kNoNode - 1;
 
+/// Destination value meaning "the nodes named in Message::mcast" — a
+/// copyset multicast.  Like broadcast, the frame circulates the ring once
+/// and costs one transmission; only the addressed stations copy it.
+inline constexpr NodeId kMulticast = kNoNode - 2;
+
 /// Index of a page in the shared virtual address space.
 using PageId = std::uint32_t;
 

@@ -51,7 +51,11 @@ enum class MsgKind : std::uint16_t {
 
 struct Message {
   NodeId src = kNoNode;
-  NodeId dst = kNoNode;  ///< kBroadcast for ring broadcast
+  NodeId dst = kNoNode;  ///< kBroadcast / kMulticast for one-frame fan-out
+
+  /// Stations addressed by a kMulticast frame (ignored otherwise).  Part
+  /// of the frame header, so it is checksummed.
+  NodeSet mcast;
   MsgKind kind = MsgKind::kInvalid;
 
   /// Correlation id assigned by the rpc layer.  Replies and duplicate
@@ -95,6 +99,7 @@ struct Message {
     }
   };
   mix(m.src);
+  mix(m.mcast.raw());
   mix(static_cast<std::uint64_t>(m.kind));
   mix(m.rpc_id);
   mix(m.origin);

@@ -45,7 +45,12 @@ void Ring::set_handler(NodeId node, Handler handler) {
 void Ring::send(Message msg) {
   IVY_CHECK_LT(msg.src, handlers_.size());
   const bool broadcast = msg.dst == kBroadcast;
-  if (!broadcast) IVY_CHECK_LT(msg.dst, handlers_.size());
+  const bool multicast = msg.dst == kMulticast;
+  if (!broadcast && !multicast) IVY_CHECK_LT(msg.dst, handlers_.size());
+  if (multicast) {
+    IVY_CHECK(!msg.mcast.empty());
+    IVY_CHECK(!msg.mcast.contains(msg.src));
+  }
 
   const auto& costs = sim_.costs();
   // Serialize on the shared medium.
@@ -58,13 +63,15 @@ void Ring::send(Message msg) {
               msg.wire_bytes + costs.msg_overhead_bytes);
   if (broadcast) {
     stats_.bump(msg.src, Counter::kBroadcasts);
+  } else if (multicast) {
+    stats_.bump(msg.src, Counter::kMulticasts);
   } else {
     stats_.bump(msg.src, Counter::kMessages);
   }
   // The span covers the frame's time on the wire (queueing excluded).
   IVY_EVT(stats_, record_span(msg.src, trace::EventKind::kMsgSend, start,
                               duration, static_cast<std::uint64_t>(msg.kind),
-                              broadcast ? kMaxNodes : msg.dst));
+                              broadcast || multicast ? kMaxNodes : msg.dst));
 
   if (drop_hook_ && drop_hook_(msg)) {
     IVY_DEBUG() << "ring drop " << to_string(msg.kind) << " " << msg.src
@@ -85,6 +92,18 @@ void Ring::send(Message msg) {
         deliver_at(arrival, n, msg);  // payload copied per recipient
       }
     }
+  } else if (multicast) {
+    // One frame on the wire, copied only by the addressed stations.
+    // Like broadcast, ring time was charged exactly once; fault plans
+    // are still drawn per recipient.
+    msg.mcast.for_each([&](NodeId n) {
+      IVY_CHECK_LT(n, handlers_.size());
+      if (fault_hook_ != nullptr) {
+        deliver_planned(arrival, n, msg);
+      } else {
+        deliver_at(arrival, n, msg);  // payload copied per recipient
+      }
+    });
   } else if (fault_hook_ != nullptr) {
     deliver_planned(arrival, msg.dst, msg);
   } else {

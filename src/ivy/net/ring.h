@@ -57,7 +57,8 @@ class Ring {
   /// node before traffic flows.
   void set_handler(NodeId node, Handler handler);
 
-  /// Transmits `msg` (unicast, or broadcast when dst == kBroadcast).
+  /// Transmits `msg` (unicast; broadcast when dst == kBroadcast; copyset
+  /// multicast when dst == kMulticast, addressed via msg.mcast).
   /// Delivery is scheduled as simulator events; handlers run at delivery
   /// time.
   void send(Message msg);

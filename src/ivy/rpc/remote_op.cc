@@ -20,6 +20,12 @@ constexpr Time kBackoffCap = sec(4);
 /// philosophy: bounded memory, graceful degradation to the orphan path).
 constexpr std::size_t kRepliedCacheCapacity = 4096;
 
+/// Trace-event destination argument: the fan-out sentinels (broadcast,
+/// multicast) all render as kMaxNodes.
+constexpr NodeId event_dst(NodeId dst) {
+  return dst >= kMulticast ? kMaxNodes : dst;
+}
+
 }  // namespace
 
 RemoteOp::RemoteOp(sim::Simulator& sim, net::Ring& ring, Stats& stats,
@@ -113,6 +119,41 @@ std::uint64_t RemoteOp::broadcast(net::MsgKind kind, std::any payload,
       break;
     }
   }
+  IVY_EVT(stats_,
+          record(self_, trace::EventKind::kRpcRequest, id, kMaxNodes));
+  transmit(std::move(msg));
+  arm_retransmit_timer();
+  return id;
+}
+
+std::uint64_t RemoteOp::multicast(NodeSet targets, net::MsgKind kind,
+                                  std::any payload, std::uint32_t wire_bytes,
+                                  AllRepliesCallback on_all, Time timeout,
+                                  FailureCallback on_fail,
+                                  bool deliver_to_all) {
+  IVY_CHECK(on_all != nullptr);
+  IVY_CHECK(!targets.empty());
+  IVY_CHECK(!targets.contains(self_));
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = deliver_to_all ? kBroadcast : kMulticast;
+  msg.mcast = targets;
+  msg.kind = kind;
+  msg.rpc_id = next_rpc_id_++;
+  msg.origin = self_;
+  msg.payload = std::move(payload);
+  msg.wire_bytes = wire_bytes;
+  const std::uint64_t id = msg.rpc_id;
+
+  Outstanding out;
+  out.original = msg;
+  out.on_all = std::move(on_all);
+  out.on_fail = std::move(on_fail);
+  out.expected_replies = static_cast<std::uint32_t>(targets.count());
+  out.first_sent = sim_.now();
+  out.last_sent = out.first_sent;
+  out.timeout = timeout;
+  outstanding_.emplace(id, std::move(out));
   IVY_EVT(stats_,
           record(self_, trace::EventKind::kRpcRequest, id, kMaxNodes));
   transmit(std::move(msg));
@@ -370,8 +411,7 @@ void RemoteOp::retransmit_scan() {
     IVY_EVT(stats_,
             record(self_, trace::EventKind::kRetransmit,
                    static_cast<std::uint64_t>(out.original.kind),
-                   out.original.dst == kBroadcast ? kMaxNodes
-                                                  : out.original.dst));
+                   event_dst(out.original.dst)));
     if (out.retransmits >= 2) {
       stats_.bump(self_, Counter::kRpcBackoffs);
       IVY_EVT(stats_, record(self_, trace::EventKind::kRpcBackoff, id,
@@ -412,8 +452,7 @@ void RemoteOp::fail_request(std::uint64_t id, Outstanding&& out) {
   stats_.bump(self_, Counter::kRpcFailures);
   IVY_PROF(stats_, end_wait(self_, prof::Domain::kRpc, id, sim_.now()));
   IVY_EVT(stats_, record(self_, trace::EventKind::kRpcFailed, id,
-                         out.original.dst == kBroadcast ? kMaxNodes
-                                                        : out.original.dst));
+                         event_dst(out.original.dst)));
   RequestFailure failure;
   failure.rpc_id = id;
   failure.kind = out.original.kind;
@@ -422,7 +461,7 @@ void RemoteOp::fail_request(std::uint64_t id, Outstanding&& out) {
   failure.first_sent = out.first_sent;
   IVY_WARN() << "node " << self_ << " rpc " << id << " ("
              << net::to_string(failure.kind) << " -> "
-             << (failure.dst == kBroadcast ? -1
+             << (failure.dst >= kMulticast ? -1
                                            : static_cast<int>(failure.dst))
              << ") failed after " << failure.attempts << " attempts";
   if (out.on_fail) {

@@ -104,6 +104,18 @@ class RemoteOp {
                           AllRepliesCallback on_all = nullptr,
                           Time timeout = 0, FailureCallback on_fail = nullptr);
 
+  /// Multicasts a request to `targets` as ONE ring frame and waits for a
+  /// reply from every target (the kAll scheme restricted to the copyset).
+  /// `targets` must be non-empty and must not include this node.  With
+  /// `deliver_to_all` the frame is a true ring broadcast (every station
+  /// copies it) but still only `targets.count()` replies complete the
+  /// round — receivers outside `targets` are expected to ignore() it.
+  std::uint64_t multicast(NodeSet targets, net::MsgKind kind,
+                          std::any payload, std::uint32_t wire_bytes,
+                          AllRepliesCallback on_all, Time timeout = 0,
+                          FailureCallback on_fail = nullptr,
+                          bool deliver_to_all = false);
+
   /// Abandons an outstanding request: no callback will fire and no
   /// retransmissions will be sent.  A reply that still arrives is routed
   /// to the orphan handler of its kind (so resource-bearing replies are

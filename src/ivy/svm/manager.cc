@@ -164,6 +164,14 @@ void Manager::serve_write(net::Message&& msg, PageId page) {
   PageEntry& entry = svm_.table().at(page);
   IVY_CHECK(entry.owned && !entry.on_disk);
 
+  // Version-checked before the bump: the requester's copy is reusable
+  // only if it was granted under this very ownership era.  A copy from
+  // an older era (the copyset travelled through detaches that bumped the
+  // version) may be content-stale relative to what a strict reading of
+  // the protocol allows — ship the body then.
+  const bool requester_copy_valid =
+      payload.has_copy && entry.copyset.contains(msg.origin) &&
+      payload.copy_version == entry.version;
   ++entry.version;
   GrantPayload grant;
   grant.page = page;
@@ -171,13 +179,14 @@ void Manager::serve_write(net::Message&& msg, PageId page) {
   grant.write_grant = true;
   grant.copyset = entry.copyset;
   grant.copyset.remove(msg.origin);
-  const bool requester_copy_valid =
-      payload.has_copy && entry.copyset.contains(msg.origin);
   if (!requester_copy_valid) {
     grant.body = svm_.snapshot(page);
     svm_.stats().bump(svm_.self(), Counter::kPageTransfers);
     IVY_EVT(svm_.stats(), record(svm_.self(), trace::EventKind::kPageSent,
                                  page, msg.origin));
+  } else {
+    // In-place write upgrade: only the 32-byte grant header travels.
+    svm_.stats().bump(svm_.self(), Counter::kBodylessUpgrades);
   }
   svm_.stats().bump(svm_.self(), Counter::kOwnershipTransfers);
 
@@ -189,7 +198,8 @@ void Manager::serve_write(net::Message&& msg, PageId page) {
                       prof::Cat::kWriteFaultTransfer,
                       svm_.simulator().now()));
   svm_.rpc().reply_to(msg, grant, grant.wire_bytes());
-  svm_.begin_pending_transfer(page, msg.origin, entry.version);
+  svm_.begin_pending_transfer(page, msg.origin, entry.version,
+                              requester_copy_valid);
   if (CoherenceObserver* obs = svm_.observer()) {
     obs->on_write_served(svm_.self(), page, msg.origin, entry.version);
     // Report the held image even for a bodyless grant: the requester's
@@ -299,6 +309,8 @@ void Manager::on_grant(net::Message&& reply) {
 
 void Manager::note_write_grant(PageId, NodeId) {}
 
+void Manager::on_table_grown(PageId) {}
+
 void Manager::note_forward(const net::Message& msg, PageId page,
                            NodeId next) {
   IVY_EVT(svm_.stats(), record(svm_.self(), trace::EventKind::kForward, page,
@@ -346,6 +358,7 @@ void Manager::broadcast_locate(PageId page, net::MsgKind kind) {
   payload.has_copy = entry.access == Access::kRead;
   payload.hint = entry.prob_owner;
   payload.broadcast = true;
+  payload.copy_version = entry.version;
   // Busy nodes ignore broadcast probes, so locate retries briskly.
   entry.fault_rpc = svm_.rpc().broadcast(
       kind, payload, FaultPayload::kWireBytes, rpc::BcastReply::kAny,
@@ -359,6 +372,7 @@ void Manager::send_fault(NodeId dst, PageId page, net::MsgKind kind) {
   payload.page = page;
   payload.has_copy = entry.access == Access::kRead;
   payload.hint = entry.prob_owner;
+  payload.copy_version = entry.version;
   entry.fault_rpc = svm_.rpc().request(
       dst, kind, payload, FaultPayload::kWireBytes,
       [this](net::Message&& reply) { on_grant(std::move(reply)); },

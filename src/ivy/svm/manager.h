@@ -46,6 +46,11 @@ class Manager {
     route_request(std::move(msg), page);
   }
 
+  /// The shared address space grew (Svm::grow_table): managers with
+  /// per-page bookkeeping extend it.  New pages start with the
+  /// configured initial owner, matching the page-table init.
+  virtual void on_table_grown(PageId new_num_pages);
+
  protected:
   explicit Manager(Svm& svm) : svm_(svm) {}
 
@@ -125,6 +130,9 @@ class CentralizedManager final : public Manager {
  public:
   explicit CentralizedManager(Svm& svm);
 
+ public:
+  void on_table_grown(PageId new_num_pages) override;
+
  protected:
   void route_initial(PageId page, net::MsgKind kind) override;
   void route_request(net::Message&& msg, PageId page) override;
@@ -145,6 +153,7 @@ class CentralizedManager final : public Manager {
 class FixedDistributedManager final : public Manager {
  public:
   explicit FixedDistributedManager(Svm& svm);
+  void on_table_grown(PageId new_num_pages) override;
 
  protected:
   void route_initial(PageId page, net::MsgKind kind) override;

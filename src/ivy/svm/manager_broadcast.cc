@@ -26,6 +26,7 @@ void BroadcastManager::route_initial(PageId page, net::MsgKind kind) {
   payload.has_copy = entry.access == Access::kRead;
   payload.hint = entry.prob_owner;
   payload.broadcast = true;
+  payload.copy_version = entry.version;
   entry.fault_rpc = svm_.rpc().broadcast(
       kind, payload, FaultPayload::kWireBytes, rpc::BcastReply::kAny,
       [this](net::Message&& reply) { on_grant(std::move(reply)); });

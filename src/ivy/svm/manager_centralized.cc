@@ -76,4 +76,10 @@ void CentralizedManager::note_write_grant(PageId page, NodeId new_owner) {
   if (is_manager()) owner_map_[page] = new_owner;
 }
 
+void CentralizedManager::on_table_grown(PageId new_num_pages) {
+  if (is_manager() && owner_map_.size() < new_num_pages) {
+    owner_map_.resize(new_num_pages, svm_.options().initial_owner);
+  }
+}
+
 }  // namespace ivy::svm

@@ -66,4 +66,10 @@ void FixedDistributedManager::note_write_grant(PageId page,
   if (manager_of(page) == svm_.self()) owner_map_[page] = new_owner;
 }
 
+void FixedDistributedManager::on_table_grown(PageId new_num_pages) {
+  if (owner_map_.size() < new_num_pages) {
+    owner_map_.resize(new_num_pages, svm_.options().initial_owner);
+  }
+}
+
 }  // namespace ivy::svm

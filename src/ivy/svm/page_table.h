@@ -163,6 +163,23 @@ class PageTable {
     return static_cast<PageId>(entries_.size());
   }
 
+  /// Extends the table to `new_num_pages`, initializing the new entries
+  /// exactly as the constructor does (no-op if already that large).
+  /// Growth invalidates PageEntry references — callers must re-look up.
+  void grow(PageId new_num_pages, NodeId initial_owner, NodeId self) {
+    if (new_num_pages <= entries_.size()) return;
+    const std::size_t old_size = entries_.size();
+    entries_.resize(new_num_pages);
+    for (std::size_t i = old_size; i < entries_.size(); ++i) {
+      PageEntry& e = entries_[i];
+      e.prob_owner = initial_owner;
+      if (self == initial_owner) {
+        e.owned = true;
+        e.access = Access::kWrite;
+      }
+    }
+  }
+
  private:
   std::vector<PageEntry> entries_;
 };

@@ -30,8 +30,12 @@ struct FaultPayload {
   /// receiving processor ... useful for broadcasting page fault requests
   /// to locate page owners"): only the owner reacts, nobody forwards.
   bool broadcast = false;
+  /// Version of the read copy advertised by has_copy.  The owner elides
+  /// the page body only when this matches its current version — a copy
+  /// granted under an older ownership era must be re-shipped in full.
+  std::uint64_t copy_version = 0;
 
-  static constexpr std::uint32_t kWireBytes = 16;
+  static constexpr std::uint32_t kWireBytes = 24;
 };
 
 /// Reply to a fault request, sent by the (old) owner directly to the
@@ -61,8 +65,13 @@ struct InvalidatePayload {
   /// Version at which the invalidation was issued; receivers ignore
   /// stale (retransmitted) invalidations for newer copies.
   std::uint64_t version = 0;
+  /// The copy holders this round addresses.  A station outside the set
+  /// neither applies nor acknowledges the invalidation (the round
+  /// completes on acks from actual holders only); empty = unaddressed
+  /// (legacy unicast), every receiver reacts.
+  NodeSet copyset;
 
-  static constexpr std::uint32_t kWireBytes = 24;
+  static constexpr std::uint32_t kWireBytes = 32;
 };
 
 /// Generic short acknowledgement.

@@ -174,7 +174,6 @@ void Svm::begin_disk_restore(PageId page) {
   // Upserts: a fault that peeled into a disk restore moves its wait here.
   IVY_PROF(stats_, begin_wait(self_, prof::Cat::kDisk,
                               prof::Domain::kPageFault, page, sim_.now()));
-  stats_.record_latency(self_, Hist::kDiskStall, sim_.costs().disk_io);
   stall_node(sim_.costs().disk_io);
   sim_.schedule_after(sim_.costs().disk_io, [this, page] {
     PageEntry& e = table_.at(page);
@@ -184,6 +183,10 @@ void Svm::begin_disk_restore(PageId page) {
     disk_.discard(page);
     e.on_disk = false;
     e.access = e.copyset.empty() ? Access::kWrite : Access::kRead;
+    // Sampled at IO completion, matching the kDiskRead span below — not
+    // at schedule time, which would timestamp the stall before it
+    // happened.
+    stats_.record_latency(self_, Hist::kDiskStall, sim_.costs().disk_io);
     IVY_EVT(stats_,
             record_span(self_, trace::EventKind::kDiskRead,
                         sim_.now() - sim_.costs().disk_io,
@@ -318,15 +321,18 @@ void Svm::defer_request(PageId page, net::Message&& msg) {
 }
 
 void Svm::invalidate_copies(PageId page, std::function<void()> done) {
-  PageEntry& entry = table_.at(page);
-  const NodeSet copyset = entry.copyset;
+  // Copy everything needed out of the entry up front: the observer hook
+  // and the ack continuations below are callouts that may mutate the page
+  // table — growing it (grow_table) reallocates the entry vector, so a
+  // PageEntry reference must never be held across them.
+  const NodeSet copyset = table_.at(page).copyset;
+  const std::uint64_t version = table_.at(page).version;
   if (copyset.empty()) {
     done();
     return;
   }
   if (observer_ != nullptr) {
-    observer_->on_invalidate_round(self_, page, entry.version,
-                                   copyset.count());
+    observer_->on_invalidate_round(self_, page, version, copyset.count());
   }
   // A fault waiting on this page has reached its invalidation leg (the
   // leg keeps the wait's read/write family; non-fault waits are left).
@@ -334,7 +340,7 @@ void Svm::invalidate_copies(PageId page, std::function<void()> done) {
                              sim_.now()));
   // Wrap the continuation so the full invalidation round (request out to
   // last ack in) is timed, whichever reply scheme runs it.
-  done = [this, page, copies = copyset.count(), version = entry.version,
+  done = [this, page, copies = copyset.count(), version,
           start = sim_.now(), done = std::move(done)] {
     const Time dur = sim_.now() - start;
     stats_.record_latency(self_, Hist::kInvalidateRound, dur);
@@ -346,36 +352,50 @@ void Svm::invalidate_copies(PageId page, std::function<void()> done) {
     }
     done();
   };
-  const InvalidatePayload payload{page, self_, entry.version};
-
-  if (options_.broadcast_invalidation && nodes_ > 1) {
-    // One ring broadcast, replies from all (the paper's second broadcast
-    // reply scheme).
-    stats_.bump(self_, Counter::kInvalidationsSent);
-    rpc_.broadcast(net::MsgKind::kInvalidateBcast, payload,
-                   InvalidatePayload::kWireBytes, rpc::BcastReply::kAll,
-                   nullptr,
-                   [done = std::move(done)](std::vector<net::Message>&&) {
-                     done();
-                   });
-    return;
-  }
-
-  auto remaining = std::make_shared<int>(copyset.count());
-  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  const InvalidatePayload payload{page, self_, version, copyset};
   copyset.for_each([&](NodeId member) {
     IVY_CHECK_NE(member, self_);  // owner never sits in its own copyset
     stats_.bump(self_, Counter::kInvalidationsSent);
+  });
+
+  if (copyset.count() == 1 && !options_.broadcast_invalidation) {
+    // A single holder: a unicast is already one frame.
+    NodeId member = kNoNode;
+    copyset.for_each([&](NodeId n) { member = n; });
     rpc_.request(member, net::MsgKind::kInvalidate, payload,
                  InvalidatePayload::kWireBytes,
-                 [remaining, shared_done](net::Message&&) {
-                   if (--*remaining == 0) (*shared_done)();
-                 });
-  });
+                 [done = std::move(done)](net::Message&&) { done(); });
+    return;
+  }
+
+  // One frame on the ring for the whole copyset (token-ring multicast
+  // costs one rotation), acknowledged by the actual holders only.  The
+  // broadcast_invalidation variant puts a true broadcast frame on the
+  // wire (every station copies it) but still completes on the holders'
+  // acks — bystander acks no longer pad Hist::kInvalidateRound.
+  stats_.bump(self_, Counter::kInvalidateMulticasts);
+  rpc_.multicast(copyset,
+                 options_.broadcast_invalidation
+                     ? net::MsgKind::kInvalidateBcast
+                     : net::MsgKind::kInvalidate,
+                 payload, InvalidatePayload::kWireBytes,
+                 [done = std::move(done)](std::vector<net::Message>&&) {
+                   done();
+                 },
+                 /*timeout=*/0, /*on_fail=*/nullptr,
+                 /*deliver_to_all=*/options_.broadcast_invalidation);
 }
 
 void Svm::on_invalidate(net::Message&& msg) {
   const auto payload = std::any_cast<InvalidatePayload>(msg.payload);
+  if (!payload.copyset.empty() && !payload.copyset.contains(self_)) {
+    // Copyset-addressed round reaching a bystander (a broadcast frame
+    // every station copies): apply nothing and send no ack.  An ack here
+    // would count toward the round's expected replies and could complete
+    // it before a real holder was invalidated — a transient stale read.
+    rpc_.ignore(msg);
+    return;
+  }
   PageEntry& entry = table_.at(payload.page);
   // The owner never receives a valid invalidation for its own page, and
   // a copy at version >= the invalidation's was granted by a newer owner
@@ -487,7 +507,7 @@ bool Svm::absorb_grant(const GrantPayload& grant, NodeId from) {
 }
 
 void Svm::begin_pending_transfer(PageId page, NodeId to,
-                                 std::uint64_t version) {
+                                 std::uint64_t version, bool bodyless) {
   PageEntry& entry = table_.at(page);
   IVY_CHECK(entry.owned);
   IVY_CHECK(!entry.fault_in_progress);
@@ -497,7 +517,8 @@ void Svm::begin_pending_transfer(PageId page, NodeId to,
   entry.fault_in_progress = true;
   entry.fault_level = Access::kNil;
   entry.fault_start = sim_.now();
-  pending_transfers_[page] = PendingTransfer{to, version};
+  pending_transfers_[page] =
+      PendingTransfer{to, version, /*push_in_flight=*/false, bodyless};
   IVY_DEBUG() << "node " << self_ << " holds page " << page
               << " pending transfer to " << to << " v" << version;
   arm_reoffer(page, version);
@@ -528,7 +549,12 @@ void Svm::push_pending_grant(PageId page) {
   grant.write_grant = true;
   grant.copyset = table_.at(page).copyset;
   grant.copyset.remove(pending.to);
-  grant.body = snapshot(page);
+  if (!pending.bodyless) {
+    // Bodyless grants stay bodyless on re-offer: the target's read copy
+    // is pinned by its outstanding fault (busy pages never evict), and
+    // absorb_grant rejects the offer if the copy is somehow gone.
+    grant.body = snapshot(page);
+  }
   pending.push_in_flight = true;
   stats_.bump(self_, Counter::kGrantReoffers);
   IVY_DEBUG() << "node " << self_ << " re-offers unacked grant of page "
@@ -642,21 +668,24 @@ bool Svm::resend_pending_grant(const net::Message& msg) {
     return false;
   }
   // The grant (or its cached resend) was lost; rebuild it from the held
-  // state.  Always ship the body — cheap insurance against the
-  // requester's copy having evicted meanwhile.
+  // state.  A bodyless grant stays bodyless: the requester's copy is
+  // pinned by its outstanding fault, and its retry path re-faults with
+  // has_copy=false if the copy is gone, which re-serves with the body.
   GrantPayload grant;
   grant.page = payload.page;
   grant.version = it->second.version;
   grant.write_grant = true;
   grant.copyset = table_.at(payload.page).copyset;
   grant.copyset.remove(msg.origin);
-  grant.body = snapshot(payload.page);
+  if (!it->second.bodyless) {
+    grant.body = snapshot(payload.page);
+    stats_.bump(self_, Counter::kPageTransfers);
+    IVY_EVT(stats_, record(self_, trace::EventKind::kPageSent, payload.page,
+                           msg.origin));
+  }
   IVY_DEBUG() << "node " << self_ << " resends pending grant of page "
               << payload.page << " v" << it->second.version << " to "
-              << msg.origin;
-  stats_.bump(self_, Counter::kPageTransfers);
-  IVY_EVT(stats_, record(self_, trace::EventKind::kPageSent, payload.page,
-                         msg.origin));
+              << msg.origin << (it->second.bodyless ? " (bodyless)" : "");
   // The requester's fault is in its transfer leg again (fresh grant on
   // the wire); the profiler is global, so the serving side may retag it.
   IVY_PROF(stats_, retag_wait(msg.origin, prof::Domain::kPageFault,
@@ -678,13 +707,22 @@ PageTransfer Svm::detach_page(PageId page, NodeId new_owner, bool with_body) {
   ++entry.version;  // ownership changes bump the version
   transfer.version = entry.version;
   if (with_body) {
-    if (entry.on_disk) {
-      std::byte* bytes = pool_.acquire(page);
-      disk_.read(page, std::span<std::byte>(bytes, options_.geo.page_size));
-      add_pending_charge(sim_.costs().disk_io);
+    if (!entry.on_disk && entry.copyset.contains(new_owner)) {
+      // The receiver holds a valid read copy: copyset membership at the
+      // owner implies content-current (an owner with a non-empty copyset
+      // cannot have written).  Move ownership without the kilobyte.
+      transfer.body_elided = true;
+      stats_.bump(self_, Counter::kBodylessUpgrades);
+      notify_content(page, transfer.version, /*at_source=*/true);
+    } else {
+      if (entry.on_disk) {
+        std::byte* bytes = pool_.acquire(page);
+        disk_.read(page, std::span<std::byte>(bytes, options_.geo.page_size));
+        add_pending_charge(sim_.costs().disk_io);
+      }
+      transfer.body = snapshot(page);
+      notify_content(page, transfer.version, /*at_source=*/true);
     }
-    transfer.body = snapshot(page);
-    notify_content(page, transfer.version, /*at_source=*/true);
   }
   disk_.discard(page);
   pool_.release(page);
@@ -709,17 +747,31 @@ void Svm::adopt_page(const PageTransfer& transfer) {
   entry.copyset.remove(self_);
   entry.on_disk = false;
   entry.prob_owner = self_;
-  if (transfer.body != nullptr) install_body(transfer.page, transfer.body);
+  if (transfer.body != nullptr) {
+    install_body(transfer.page, transfer.body);
+  } else if (transfer.body_elided) {
+    // The donor elided the body because this node holds a valid copy.
+    IVY_CHECK_MSG(pool_.resident(transfer.page),
+                  "elided transfer body but no local copy of page "
+                      << transfer.page);
+  }
   entry.access = entry.copyset.empty() ? Access::kWrite : Access::kRead;
   stats_.bump(self_, Counter::kOwnershipTransfers);
   IVY_EVT(stats_, record(self_, trace::EventKind::kOwnershipGained,
                          transfer.page, kMaxNodes));
   if (observer_ != nullptr) {
     observer_->on_page_adopted(self_, transfer.page, transfer.version);
-    if (transfer.body != nullptr) {
+    if (transfer.body != nullptr || transfer.body_elided) {
       notify_content(transfer.page, transfer.version, /*at_source=*/false);
     }
   }
+}
+
+void Svm::grow_table(PageId new_num_pages) {
+  if (new_num_pages <= table_.num_pages()) return;
+  table_.grow(new_num_pages, options_.initial_owner, self_);
+  options_.geo.num_pages = new_num_pages;
+  manager_->on_table_grown(new_num_pages);
 }
 
 mem::FramePool::EvictAction Svm::on_evict(PageId page,

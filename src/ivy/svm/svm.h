@@ -72,6 +72,11 @@ struct PageTransfer {
   std::uint64_t version = 0;
   NodeSet copyset;
   PageBody body;  ///< null when only ownership (not contents) moves
+  /// True when the body was requested but elided because the receiver
+  /// already holds a valid read copy at the current version (adopt_page
+  /// then requires a resident local frame).  False for body == nullptr
+  /// transfers whose contents are genuinely meaningless.
+  bool body_elided = false;
 };
 
 class Svm {
@@ -109,6 +114,13 @@ class Svm {
   /// Installs a detached page as owned with write access.
   void adopt_page(const PageTransfer& transfer);
   [[nodiscard]] bool owns(PageId page) const { return table_.at(page).owned; }
+
+  /// Extends the shared address space to `new_num_pages` pages at
+  /// runtime.  Every node must perform the same growth (the space is
+  /// shared); new pages start owned by the configured initial owner.
+  /// Safe mid-protocol: PageEntry references are never held across the
+  /// async resume points where this can run.
+  void grow_table(PageId new_num_pages);
 
   // --- plumbing ---------------------------------------------------------
 
@@ -208,8 +220,11 @@ class Svm {
 
   /// Old-owner side: marks `page` as granted-to-`to` at `version` and
   /// defers all requests until the kGrantAck arrives.  Called by
-  /// Manager::serve_write after the grant reply is sent.
-  void begin_pending_transfer(PageId page, NodeId to, std::uint64_t version);
+  /// Manager::serve_write after the grant reply is sent.  `bodyless`
+  /// records that the grant elided the page body (the requester holds a
+  /// valid copy), so re-offers and resends elide it too.
+  void begin_pending_transfer(PageId page, NodeId to, std::uint64_t version,
+                              bool bodyless = false);
 
   /// New-owner side: confirms (or aborts) a received write grant.
   void send_grant_ack(NodeId to, PageId page, std::uint64_t version,
@@ -238,6 +253,9 @@ class Svm {
     std::uint64_t version = 0;
     /// A kGrantPush re-offer for this transfer is in flight.
     bool push_in_flight = false;
+    /// The grant elided the page body (requester holds a valid copy at
+    /// this version); re-offers and resends stay bodyless.
+    bool bodyless = false;
   };
 
   /// Old-owner liveness for the two-phase transfer: the grant travels as

@@ -1057,6 +1057,24 @@ std::vector<std::string> bench_audit(const BenchFile& bench) {
         counter_of(p, "broadcasts") == 0) {
       flag(p, "fault hops recorded but forwards == broadcasts == 0");
     }
+    // Bodyless grants are decided per write fault served (or per
+    // migration detach); more elisions than opportunities means the
+    // counter is bumped on a resend path it must not be.
+    const std::uint64_t bodyless = counter_of(p, "bodyless_upgrades");
+    const std::uint64_t upgrades_possible =
+        counter_of(p, "write_faults") + counter_of(p, "migrations");
+    if (bodyless > upgrades_possible) {
+      flag(p, "bodyless_upgrades " + std::to_string(bodyless) +
+                  " exceeds write_faults+migrations " +
+                  std::to_string(upgrades_possible));
+    }
+    // Every multicast invalidation round puts exactly one multicast (or,
+    // under --broadcast-invalidation, broadcast) frame on the ring.
+    if (counter_of(p, "invalidate_multicasts") >
+        counter_of(p, "multicasts") + counter_of(p, "broadcasts")) {
+      flag(p, "invalidate_multicasts recorded but too few "
+              "multicast/broadcast frames on the wire");
+    }
   }
   return findings;
 }
@@ -1155,6 +1173,9 @@ std::vector<CompareRow> compare_bench(const BenchFile& older,
       continue;
     }
     row.new_elapsed = now->elapsed;
+    row.old_wft = was.category_total("write_fault_transfer");
+    row.new_wft = now->category_total("write_fault_transfer");
+    row.new_bodyless = counter_of(*now, "bodyless_upgrades");
     row.ratio = was.elapsed == 0 ? 0.0
                                  : static_cast<double>(now->elapsed) /
                                        static_cast<double>(was.elapsed);
@@ -1168,24 +1189,35 @@ std::vector<CompareRow> compare_bench(const BenchFile& older,
 std::string render_compare(const std::vector<CompareRow>& rows,
                            double tolerance) {
   std::ostringstream out;
-  char hdr[128];
-  std::snprintf(hdr, sizeof(hdr), "%-28s %12s %12s %8s  %s\n", "point",
-                "old", "new", "ratio", "status");
+  char hdr[160];
+  std::snprintf(hdr, sizeof(hdr), "%-28s %12s %12s %8s %11s %11s  %s\n",
+                "point", "old", "new", "ratio", "wft_old", "wft_new",
+                "status");
   out << hdr;
   std::size_t regressions = 0;
+  Time wft_old_total = 0;
+  Time wft_new_total = 0;
+  std::uint64_t bodyless_total = 0;
   for (const CompareRow& row : rows) {
-    char line[160];
+    char line[224];
     if (row.missing) {
-      std::snprintf(line, sizeof(line), "%-28s %12s %12s %8s  MISSING\n",
+      std::snprintf(line, sizeof(line),
+                    "%-28s %12s %12s %8s %11s %11s  MISSING\n",
                     row.key.c_str(), format_us(row.old_elapsed).c_str(), "-",
-                    "-");
+                    "-", "-", "-");
       ++regressions;
     } else {
-      std::snprintf(line, sizeof(line), "%-28s %12s %12s %8.3f  %s\n",
-                    row.key.c_str(), format_us(row.old_elapsed).c_str(),
+      std::snprintf(line, sizeof(line),
+                    "%-28s %12s %12s %8.3f %11s %11s  %s\n", row.key.c_str(),
+                    format_us(row.old_elapsed).c_str(),
                     format_us(row.new_elapsed).c_str(), row.ratio,
+                    format_us(row.old_wft).c_str(),
+                    format_us(row.new_wft).c_str(),
                     row.within ? "ok" : "REGRESSION");
       if (!row.within) ++regressions;
+      wft_old_total += row.old_wft;
+      wft_new_total += row.new_wft;
+      bodyless_total += row.new_bodyless;
     }
     out << line;
   }
@@ -1194,6 +1226,22 @@ std::string render_compare(const std::vector<CompareRow>& rows,
                 "%zu point(s) outside tolerance %.0f%% (of %zu)\n",
                 regressions, tolerance * 100.0, rows.size());
   out << tail;
+  // The transfer-volume headline: how much write-fault transfer time the
+  // new file spends vs the baseline, and how many grants went bodyless.
+  if (wft_old_total > 0) {
+    const double pct = 100.0 *
+                       (static_cast<double>(wft_new_total) -
+                        static_cast<double>(wft_old_total)) /
+                       static_cast<double>(wft_old_total);
+    char wft[160];
+    std::snprintf(wft, sizeof(wft),
+                  "write_fault_transfer total: %s -> %s (%+.1f%%), "
+                  "bodyless_upgrades: %llu\n",
+                  format_us(wft_old_total).c_str(),
+                  format_us(wft_new_total).c_str(), pct,
+                  static_cast<unsigned long long>(bodyless_total));
+    out << wft;
+  }
   return out.str();
 }
 

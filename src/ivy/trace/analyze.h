@@ -241,11 +241,18 @@ bool load_bench_json(const std::string& path, BenchFile* out,
 /// sum to the loss exactly) and names the dominant loss.
 [[nodiscard]] std::string render_waterfall(const BenchFile& bench);
 
-/// One (workload, manager, nodes) regression-comparison row.
+/// One (workload, manager, nodes) regression-comparison row.  Besides
+/// the elapsed-time gate, each row carries the write_fault_transfer
+/// attribution of both points so a transfer-volume change (e.g. the
+/// bodyless write-upgrade optimization) shows up in the comparison
+/// rather than hiding inside the total.
 struct CompareRow {
   std::string key;
   Time old_elapsed = 0;
   Time new_elapsed = 0;
+  Time old_wft = 0;     ///< write_fault_transfer vtime in the baseline
+  Time new_wft = 0;     ///< write_fault_transfer vtime in the new file
+  std::uint64_t new_bodyless = 0;  ///< bodyless_upgrades counter (new file)
   double ratio = 0.0;   ///< new / old
   bool within = false;  ///< |ratio - 1| <= tolerance (and both present)
   bool missing = false; ///< in the baseline but absent from the new file

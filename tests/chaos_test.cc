@@ -139,6 +139,32 @@ TEST_P(ChaosTest, Msort) {
   expect_quiescent(rt);
 }
 
+// Read-modify-write rotation: every node reads the value each round and
+// the writer rotates, so each round's writer holds a read copy when its
+// write fault is served — the bodyless-grant path under the full chaos
+// load, on every manager and fault seed of the grid.
+TEST_P(ChaosTest, ReadModifyWriteRotationGoesBodyless) {
+  Runtime rt(make_config());
+  auto value = rt.alloc_scalar<std::uint64_t>();
+  auto bar = rt.create_barrier(4);
+  constexpr std::uint64_t kRounds = 10;
+  for (NodeId n = 0; n < 4; ++n) {
+    rt.spawn_on(n, [=]() mutable {
+      for (std::uint64_t round = 0; round < kRounds; ++round) {
+        if (round % 4 == n) value.set(round * 100 + n);
+        bar.arrive(2 * static_cast<std::int64_t>(round));
+        EXPECT_EQ(value.get(), round * 100 + round % 4);
+        bar.arrive(2 * static_cast<std::int64_t>(round) + 1);
+      }
+    });
+  }
+  rt.run();
+  rt.check_coherence_invariants();
+  expect_quiescent(rt);
+  EXPECT_GT(rt.stats().total(Counter::kBodylessUpgrades), 0u);
+  EXPECT_GT(injected_total(rt), 0u);
+}
+
 // 4 managers x 5 fault seeds; every point runs all six workloads.
 std::vector<ChaosPoint> chaos_grid() {
   struct Mgr {

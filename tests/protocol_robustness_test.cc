@@ -108,6 +108,108 @@ TEST(TwoPhaseTransfer, WriteDataSurvivesLossyHandshake) {
   h.check_single_owner(7);
 }
 
+TEST(TwoPhaseTransfer, BodylessGrantLostThenResent) {
+  Harness h(2, ManagerKind::kDynamicDistributed);
+  const std::uint64_t magic = 0xcafe;
+  h.at(0).write_bytes(5 * 256, std::as_bytes(std::span(&magic, 1)));
+  h.ensure(1, 5, Access::kRead);  // node 1 now holds a valid copy
+  const auto transfers_before = h.stats_.total(Counter::kPageTransfers);
+  const auto bodyless_before = h.stats_.total(Counter::kBodylessUpgrades);
+  int grant_drops = 1;
+  h.ring_.set_drop_hook([&](const net::Message& m) {
+    return m.is_reply && m.kind == net::MsgKind::kWriteFault &&
+           grant_drops-- > 0;
+  });
+  h.ensure(1, 5, Access::kWrite);
+  h.ring_.set_drop_hook(nullptr);
+  h.sim_.run_until_idle();
+  h.check_single_owner(5);
+  EXPECT_TRUE(h.at(1).table().at(5).owned);
+  // The retransmitted request was answered from the pending-transfer
+  // state, still bodyless: the upgrade decision is counted once and no
+  // page body ever crossed the wire.
+  EXPECT_GE(h.stats_.total(Counter::kRetransmissions), 1u);
+  EXPECT_EQ(h.stats_.total(Counter::kPageTransfers), transfers_before);
+  EXPECT_EQ(h.stats_.total(Counter::kBodylessUpgrades), bodyless_before + 1);
+  std::uint64_t out = 0;
+  h.at(1).read_bytes(5 * 256, std::as_writable_bytes(std::span(&out, 1)));
+  EXPECT_EQ(out, magic);
+}
+
+TEST(TwoPhaseTransfer, BodylessGrantLostThenReofferedByPush) {
+  Harness h(2, ManagerKind::kDynamicDistributed);
+  const std::uint64_t magic = 0xbead;
+  h.at(0).write_bytes(6 * 256, std::as_bytes(std::span(&magic, 1)));
+  h.ensure(1, 6, Access::kRead);
+  const auto transfers_before = h.stats_.total(Counter::kPageTransfers);
+  // Drop the grant reply AND every retransmitted write-fault request, so
+  // the requester can never re-ask: the only path left is the old
+  // owner's kGrantPush re-offer, which must stay bodyless and be
+  // absorbable against the requester's surviving read copy.
+  bool black_hole = false;
+  h.ring_.set_drop_hook([&](const net::Message& m) {
+    if (m.kind != net::MsgKind::kWriteFault) return false;
+    if (m.is_reply && !black_hole) {
+      black_hole = true;  // the grant is lost...
+      return true;
+    }
+    return black_hole && !m.is_reply;  // ...and so is every re-ask
+  });
+  bool done = false;
+  h.at(1).request_access(6, Access::kWrite, [&] { done = true; });
+  h.sim_.run_while([&] { return !done; });
+  h.ring_.set_drop_hook(nullptr);
+  h.sim_.run_until_idle();
+  h.check_single_owner(6);
+  EXPECT_TRUE(h.at(1).table().at(6).owned);
+  EXPECT_GE(h.stats_.total(Counter::kGrantReoffers), 1u);
+  EXPECT_EQ(h.stats_.total(Counter::kPageTransfers), transfers_before);
+  std::uint64_t out = 0;
+  h.at(1).read_bytes(6 * 256, std::as_writable_bytes(std::span(&out, 1)));
+  EXPECT_EQ(out, magic);
+}
+
+class UpgradeRace : public testing::TestWithParam<ManagerKind> {};
+
+TEST_P(UpgradeRace, CopyHolderUpgradeRacingInvalidationConverges) {
+  Harness h(3, GetParam());
+  h.ensure(1, 2, Access::kRead);
+  h.ensure(2, 2, Access::kRead);
+  // The owner's local upgrade invalidates both copies while node 1 is
+  // itself write-faulting with has_copy set — its copy (and thus the
+  // bodyless-grant precondition) may die mid-flight.  Whichever order
+  // the ring delivers, both faults must complete and converge on one
+  // owner with intact data.
+  bool done0 = false;
+  bool done1 = false;
+  h.at(0).request_access(2, Access::kWrite, [&] { done0 = true; });
+  h.at(1).request_access(2, Access::kWrite, [&] { done1 = true; });
+  h.sim_.run_while([&] { return !(done0 && done1); });
+  h.sim_.run_until_idle();
+  h.check_single_owner(2);
+  for (NodeId n = 0; n < 3; ++n) {
+    const PageEntry& e = h.at(n).table().at(2);
+    EXPECT_FALSE(e.fault_in_progress) << "node " << n;
+    EXPECT_TRUE(e.deferred_requests.empty()) << "node " << n;
+  }
+  // Post-race the protocol still moves data correctly.
+  h.ensure(2, 2, Access::kWrite);
+  const std::uint64_t magic = 0x1234;
+  h.at(2).write_bytes(2 * 256, std::as_bytes(std::span(&magic, 1)));
+  h.ensure(0, 2, Access::kRead);
+  std::uint64_t out = 0;
+  h.at(0).read_bytes(2 * 256, std::as_writable_bytes(std::span(&out, 1)));
+  EXPECT_EQ(out, magic);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllManagers, UpgradeRace,
+    testing::Values(ManagerKind::kCentralized, ManagerKind::kFixedDistributed,
+                    ManagerKind::kDynamicDistributed, ManagerKind::kBroadcast),
+    [](const testing::TestParamInfo<ManagerKind>& info) {
+      return to_string(info.param);
+    });
+
 TEST(BounceRecovery, MutuallyStaleHintsResolveViaBroadcast) {
   Harness h(8, ManagerKind::kDynamicDistributed);
   // Make node 7 the owner of page 9, then poison hints: 1 and 3 point at

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "ivy/svm/manager.h"
+#include "ivy/svm/observer.h"
 #include "ivy/svm/svm.h"
 
 namespace ivy::svm {
@@ -176,9 +177,47 @@ TEST_P(SvmProtocol, CopyHolderWriteFaultSkipsBody) {
   h.write_u64(0, 7 * 256, 0xabc);
   h.ensure(1, 7, Access::kRead);
   const auto transfers_before = h.stats_.total(Counter::kPageTransfers);
+  const auto bodyless_before = h.stats_.total(Counter::kBodylessUpgrades);
   h.ensure(1, 7, Access::kWrite);  // holds a valid copy: ownership only
   EXPECT_EQ(h.stats_.total(Counter::kPageTransfers), transfers_before);
+  EXPECT_EQ(h.stats_.total(Counter::kBodylessUpgrades), bodyless_before + 1);
   EXPECT_EQ(h.read_u64(1, 7 * 256), 0xabcu);
+  h.check_invariants();
+}
+
+TEST_P(SvmProtocol, StaleCopyVersionFallsBackToFullBody) {
+  SvmHarness h(2, GetParam());
+  h.ensure(1, 7, Access::kWrite);  // bump the page off version 0
+  h.ensure(0, 7, Access::kWrite);
+  h.write_u64(0, 7 * 256, 0x5a5a);
+  h.ensure(1, 7, Access::kRead);
+  // Skew the requester's recorded version below the owner's: the grant
+  // must not trust the local copy and has to ship the body.
+  h.at(1).table().at(7).version -= 1;
+  const auto transfers_before = h.stats_.total(Counter::kPageTransfers);
+  const auto bodyless_before = h.stats_.total(Counter::kBodylessUpgrades);
+  h.ensure(1, 7, Access::kWrite);
+  EXPECT_EQ(h.stats_.total(Counter::kBodylessUpgrades), bodyless_before);
+  EXPECT_EQ(h.stats_.total(Counter::kPageTransfers), transfers_before + 1);
+  EXPECT_EQ(h.read_u64(1, 7 * 256), 0x5a5au);
+  h.check_invariants();
+}
+
+TEST_P(SvmProtocol, MulticastInvalidationUsesOneFrame) {
+  SvmHarness h(4, GetParam());
+  h.write_u64(0, 0, 1);
+  h.ensure(1, 0, Access::kRead);
+  h.ensure(2, 0, Access::kRead);
+  const auto mcasts_before = h.stats_.total(Counter::kMulticasts);
+  const auto rounds_before = h.stats_.total(Counter::kInvalidateMulticasts);
+  const auto inv_before = h.stats_.total(Counter::kInvalidationsSent);
+  h.ensure(0, 0, Access::kWrite);  // local upgrade invalidating both copies
+  EXPECT_EQ(h.stats_.total(Counter::kInvalidateMulticasts), rounds_before + 1);
+  EXPECT_EQ(h.stats_.total(Counter::kMulticasts), mcasts_before + 1);
+  // Per-member accounting is preserved: two invalidations, one frame.
+  EXPECT_EQ(h.stats_.total(Counter::kInvalidationsSent), inv_before + 2);
+  EXPECT_EQ(h.at(1).table().at(0).access, Access::kNil);
+  EXPECT_EQ(h.at(2).table().at(0).access, Access::kNil);
   h.check_invariants();
 }
 
@@ -243,6 +282,22 @@ TEST_P(SvmProtocol, DetachAdoptMovesOwnershipDirectly) {
   // Later faults route correctly despite the managers not being told.
   h.ensure(0, 11, Access::kWrite);
   EXPECT_EQ(h.read_u64(0, 11 * 256), 0xdeadu);
+  h.check_invariants();
+}
+
+TEST_P(SvmProtocol, DetachElidesBodyWhenNewOwnerHoldsCopy) {
+  SvmHarness h(2, GetParam());
+  h.write_u64(0, 13 * 256, 0x77);
+  h.ensure(1, 13, Access::kRead);
+  const auto bodyless_before = h.stats_.total(Counter::kBodylessUpgrades);
+  const PageTransfer t = h.at(0).detach_page(13, 1, /*with_body=*/true);
+  // The new owner sits in the copyset: the detach ships no body.
+  EXPECT_EQ(t.body, nullptr);
+  EXPECT_TRUE(t.body_elided);
+  EXPECT_EQ(h.stats_.total(Counter::kBodylessUpgrades), bodyless_before + 1);
+  h.at(1).adopt_page(t);
+  EXPECT_TRUE(h.at(1).table().at(13).owned);
+  EXPECT_EQ(h.read_u64(1, 13 * 256), 0x77u);
   h.check_invariants();
 }
 
@@ -317,6 +372,107 @@ TEST(SvmGeometry, PageAndOffsetMath) {
   EXPECT_EQ(geo.page_of(1024), 1u);
   EXPECT_EQ(geo.offset_of(1030), 6u);
 }
+
+// Regression for the stale-reference hazard in invalidate_copies: the
+// observer hook fires mid-round, and an observer that grows the page
+// table reallocates the PageEntry vector.  The old code kept a
+// PageEntry& across that callout and the ack continuations; under ASan
+// this test caught the dangling read.
+class GrowingObserver : public CoherenceObserver {
+ public:
+  std::vector<Svm*> svms;
+  PageId grow_to = 0;
+  bool grown = false;
+
+  void attach(Svm* svm) override { svms.push_back(svm); }
+  void on_invalidate_round(NodeId, PageId, std::uint64_t, int) override {
+    if (grown || grow_to == 0) return;
+    grown = true;
+    // The address space is shared: every node grows in lockstep.
+    for (Svm* svm : svms) svm->grow_table(grow_to);
+  }
+
+  void on_fault_start(NodeId, PageId, Access) override {}
+  void on_fault_complete(NodeId, PageId, Access) override {}
+  void on_forward(NodeId, PageId, NodeId, NodeId, bool) override {}
+  void on_read_served(NodeId, PageId, NodeId) override {}
+  void on_write_served(NodeId, PageId, NodeId, std::uint64_t) override {}
+  void on_ownership_gained(NodeId, PageId, NodeId, std::uint64_t) override {}
+  void on_ownership_released(NodeId, PageId, NodeId, std::uint64_t) override {}
+  void on_transfer_aborted(NodeId, PageId, std::uint64_t) override {}
+  void on_page_detached(NodeId, PageId, NodeId, std::uint64_t) override {}
+  void on_page_adopted(NodeId, PageId, std::uint64_t) override {}
+  void on_invalidate_round_done(NodeId, PageId, std::uint64_t) override {}
+  void on_copy_dropped(NodeId, PageId, NodeId, std::uint64_t) override {}
+  void on_page_content(NodeId, PageId, std::uint64_t,
+                       std::span<const std::byte>, bool) override {}
+};
+
+class GrowMidRound : public testing::TestWithParam<ManagerKind> {};
+
+TEST_P(GrowMidRound, TableGrowthDuringInvalidationRoundIsSafe) {
+  constexpr PageId kInitialPages = 64;
+  constexpr PageId kGrownPages = 96;
+  sim::Simulator sim;
+  Stats stats(3);
+  net::Ring ring(sim, stats, 3);
+  GrowingObserver obs;
+  obs.grow_to = kGrownPages;
+  SvmOptions opts;
+  opts.geo = Geometry{256, kInitialPages};
+  opts.manager = GetParam();
+  opts.observer = &obs;
+  std::vector<std::unique_ptr<rpc::RemoteOp>> rpcs;
+  std::vector<std::unique_ptr<Svm>> svms;
+  for (NodeId n = 0; n < 3; ++n) {
+    rpcs.push_back(std::make_unique<rpc::RemoteOp>(sim, ring, stats, n));
+    svms.push_back(
+        std::make_unique<Svm>(sim, *rpcs.back(), stats, n, 3, opts));
+    obs.attach(svms.back().get());
+  }
+  auto ensure = [&](NodeId node, PageId page, Access want) {
+    bool done = false;
+    svms[node]->request_access(page, want, [&] { done = true; });
+    sim.run_while([&] { return !done; });
+    ASSERT_TRUE(done);
+    sim.run_until_idle();
+  };
+
+  const std::uint64_t magic = 0xfeedbeef;
+  svms[0]->write_bytes(0, std::as_bytes(std::span(&magic, 1)));
+  ensure(1, 0, Access::kRead);
+  ensure(2, 0, Access::kRead);
+  // The upgrade's invalidation round fires the observer, which grows
+  // the table of every node mid-round.
+  ensure(0, 0, Access::kWrite);
+  ASSERT_TRUE(obs.grown);
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(svms[n]->geometry().num_pages, kGrownPages);
+    EXPECT_EQ(svms[n]->table().num_pages(), kGrownPages);
+    EXPECT_EQ(svms[n]->table().at(0).access,
+              n == 0 ? Access::kWrite : Access::kNil);
+  }
+  // The grown region is live protocol state: pages fault and move like
+  // the original ones (manager owner maps were extended too).
+  const PageId fresh = kInitialPages + 10;
+  ensure(1, fresh, Access::kWrite);
+  const std::uint64_t v = 0xd00d;
+  svms[1]->write_bytes(static_cast<SvmAddr>(fresh) * 256,
+                       std::as_bytes(std::span(&v, 1)));
+  ensure(2, fresh, Access::kRead);
+  std::uint64_t out = 0;
+  svms[2]->read_bytes(static_cast<SvmAddr>(fresh) * 256,
+                      std::as_writable_bytes(std::span(&out, 1)));
+  EXPECT_EQ(out, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllManagers, GrowMidRound,
+    testing::Values(ManagerKind::kCentralized, ManagerKind::kFixedDistributed,
+                    ManagerKind::kDynamicDistributed, ManagerKind::kBroadcast),
+    [](const testing::TestParamInfo<ManagerKind>& info) {
+      return to_string(info.param);
+    });
 
 TEST(SvmProbOwner, DynamicChainsCompressTowardOwner) {
   SvmHarness h(8, ManagerKind::kDynamicDistributed);

@@ -14,7 +14,7 @@
 //   * rpc causality audit (every reply matched to a request),
 //   * trace-derived counts cross-checked against the live counters.
 //
-// Bench mode reads a BENCH_PR4.json written by tools/ivy-bench, audits
+// Bench mode reads a BENCH_PR5.json written by tools/ivy-bench, audits
 // it (every node's profiler categories must sum to the accounted
 // virtual time exactly, and each nonzero wait category must be backed
 // by its live counter), and prints the speedup-loss waterfall: for each
@@ -25,7 +25,11 @@
 // (workload, manager, nodes) and fails when any baseline point's
 // elapsed time drifts by more than --tolerance (default 0.10, i.e.
 // 10%) in either direction — in a deterministic simulator any drift
-// means behavior changed.
+// means behavior changed.  Each row also prints both points'
+// write_fault_transfer attribution (wft_old/wft_new) and the run ends
+// with a transfer-volume headline, so optimizations that shrink page
+// traffic (bodyless write upgrades) are proven by the comparison
+// itself rather than inferred from the total.
 //
 // With --check the exit status reflects the audit: 1 on a failed
 // cross-check / causality / bench audit; --compare always gates.

@@ -3,11 +3,11 @@
 //
 // Sweeps the paper's six benchmark programs across all four manager
 // algorithms and a set of node counts, with the cost-attribution
-// profiler forced on, and writes one JSON file (default BENCH_PR4.json)
+// profiler forced on, and writes one JSON file (default BENCH_PR5.json)
 // holding every point's virtual times, live counters, and per-node
 // per-category attribution.  ivy-analyze consumes it:
 //
-//   ivy-analyze --bench BENCH_PR4.json --check      # audit + waterfall
+//   ivy-analyze --bench BENCH_PR5.json --check      # audit + waterfall
 //   ivy-analyze --compare baseline.json new.json    # regression gate
 //
 // Usage:
@@ -123,7 +123,7 @@ int usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_PR4.json";
+  std::string out_path = "BENCH_PR5.json";
   bool reduced = false;
   std::vector<NodeId> node_counts;
   std::vector<std::string> workloads;
